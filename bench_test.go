@@ -1,0 +1,345 @@
+// Package glimpse_test is the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (one testing.B per artifact)
+// plus the ablation studies DESIGN.md calls out. Benchmarks run at a
+// reduced scale (subset of GPUs/tasks, smaller budgets) so the full suite
+// finishes in minutes; cmd/experiments -scale full is the long-form run.
+//
+// Reported custom metrics are the figures' headline numbers, e.g.
+// rel_steps_% for Fig. 6 or invalid_reduction_x for Fig. 7.
+package glimpse_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/experiments"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/prior"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/sampler"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// benchEnv is shared across benchmarks: toolkit training dominates setup,
+// so it happens once.
+var (
+	benchOnce sync.Once
+	benchE    *experiments.Env
+	benchGrid *experiments.Grid
+	benchErr  error
+)
+
+func benchSetup(b *testing.B) (*experiments.Env, *experiments.Grid) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var priorTasks []workload.Task
+		for _, l := range []int{1, 2, 4, 5, 7, 9, 11, 13, 15, 17} {
+			task, err := workload.TaskByIndex(workload.ResNet18, l)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			priorTasks = append(priorTasks, task)
+		}
+		for _, l := range []int{3, 8, 11} {
+			task, err := workload.TaskByIndex(workload.AlexNet, l)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			priorTasks = append(priorTasks, task)
+		}
+		benchE = experiments.NewEnv(experiments.Config{
+			Seed:            2022,
+			Targets:         []string{hwspec.TitanXp, hwspec.RTX3090},
+			Models:          []string{workload.AlexNet, workload.ResNet18},
+			TasksPerModel:   3,
+			MaxMeasurements: 96,
+			BatchSize:       16,
+			TransferSamples: 90,
+			TransferGPUs:    2,
+			Toolkit: core.ToolkitConfig{
+				TrainGPUs: []string{"gtx-1080", "gtx-1080-ti", "rtx-2070", "rtx-2080",
+					"rtx-2080-ti", "titan-rtx", "rtx-3070", "rtx-3080"},
+				PriorTasks: priorTasks,
+				Prior: prior.TrainConfig{
+					Dataset: prior.DatasetConfig{SamplesPerTask: 140, TopK: 16},
+					Epochs:  200,
+				},
+				MetaGPUs: 2,
+			},
+		})
+		benchGrid, benchErr = benchE.RunGrid([]string{"autotvm", "chameleon", "dgp", "glimpse"})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchE, benchGrid
+}
+
+// BenchmarkTable1TaskInventory regenerates Table 1.
+func BenchmarkTable1TaskInventory(b *testing.B) {
+	e, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := e.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 3 {
+			b.Fatal("bad inventory")
+		}
+	}
+}
+
+// BenchmarkFig1CrossHardwareReuse regenerates Figure 1.
+func BenchmarkFig1CrossHardwareReuse(b *testing.B) {
+	e, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := e.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.SlowdownAB, "slowdown_ab_%")
+		b.ReportMetric(100*r.SlowdownBA, "slowdown_ba_%")
+	}
+}
+
+// BenchmarkFig4InitialConfigs regenerates Figure 4.
+func BenchmarkFig4InitialConfigs(b *testing.B) {
+	e, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := e.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := r.GlimpseAdvantage()
+		if len(adv) > 0 {
+			sum := 0.0
+			for _, a := range adv {
+				sum += a
+			}
+			b.ReportMetric(sum/float64(len(adv)), "glimpse_initial_advantage_x")
+		}
+	}
+}
+
+// BenchmarkFig5TransferLearning regenerates Figure 5.
+func BenchmarkFig5TransferLearning(b *testing.B) {
+	e, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := e.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoRelGl, "glimpse_vs_autotvm_x")
+		b.ReportMetric(r.GeoRelTL, "tl_vs_autotvm_x")
+	}
+}
+
+// BenchmarkFig6SearchSteps regenerates Figure 6 from the shared grid.
+func BenchmarkFig6SearchSteps(b *testing.B) {
+	_, grid := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Geomean["glimpse"], "glimpse_rel_steps_%")
+		b.ReportMetric(100*r.Geomean["chameleon"], "chameleon_rel_steps_%")
+	}
+}
+
+// BenchmarkFig7InvalidConfigs regenerates Figure 7 from the shared grid.
+func BenchmarkFig7InvalidConfigs(b *testing.B) {
+	_, grid := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean["glimpse"], "glimpse_invalid_reduction_x")
+		b.ReportMetric(r.Geomean["chameleon"], "chameleon_invalid_reduction_x")
+	}
+}
+
+// BenchmarkFig8BlueprintDSE regenerates Figure 8.
+func BenchmarkFig8BlueprintDSE(b *testing.B) {
+	e, _ := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := e.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ChosenDim), "blueprint_dim")
+		b.ReportMetric(100*r.KneeLoss, "knee_loss_%")
+	}
+}
+
+// BenchmarkFig9aOptimizationTime regenerates Figure 9a from the grid.
+func BenchmarkFig9aOptimizationTime(b *testing.B) {
+	_, grid := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TimeGeomean["glimpse"], "glimpse_time_improvement_x")
+		b.ReportMetric(r.TimeGeomean["chameleon"], "chameleon_time_improvement_x")
+		b.ReportMetric(r.TimeGeomean["dgp"], "dgp_time_improvement_x")
+	}
+}
+
+// BenchmarkFig9bInferenceSpeed regenerates Figure 9b from the grid.
+func BenchmarkFig9bInferenceSpeed(b *testing.B) {
+	_, grid := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.InferenceGeomean["glimpse"], "glimpse_inference_x")
+		b.ReportMetric(r.InferenceGeomean["chameleon"], "chameleon_inference_x")
+		b.ReportMetric(r.InferenceGeomean["dgp"], "dgp_inference_x")
+	}
+}
+
+// BenchmarkTable2HyperVolume regenerates Table 2 from the grid.
+func BenchmarkTable2HyperVolume(b *testing.B) {
+	_, grid := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, row := range r.Rows {
+			if row.Tuner == "glimpse" && row.HyperVolume > best {
+				best = row.HyperVolume
+			}
+		}
+		b.ReportMetric(best, "glimpse_best_hv")
+	}
+}
+
+// ablationSetup returns a trained toolkit, measurement path, and task for
+// the component ablations.
+func ablationSetup(b *testing.B) (*core.Toolkit, workload.Task, *space.Space, *measure.Local) {
+	b.Helper()
+	e, _ := benchSetup(b)
+	tk, err := e.Toolkit(hwspec.TitanXp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tk, task, space.MustForTask(task), measure.MustNewLocal(hwspec.TitanXp)
+}
+
+// BenchmarkAblationPrior compares Glimpse with and without the Blueprint
+// prior (§3.1) at a fixed measurement budget.
+func BenchmarkAblationPrior(b *testing.B) {
+	tk, task, sp, m := ablationSetup(b)
+	budget := tuner.Budget{MaxMeasurements: 64}
+	for i := 0; i < b.N; i++ {
+		full := tk.Tuner()
+		fullRes, err := full.Tune(task, sp, m, budget, rng.New(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ablated := tk.Tuner()
+		ablated.DisablePrior = true
+		ablRes, err := ablated.Tune(task, sp, m, budget, rng.New(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fullRes.BestGFLOPS/ablRes.BestGFLOPS, "prior_gain_x")
+	}
+}
+
+// BenchmarkAblationAcquisition compares the meta-learned acquisition
+// against classic Expected Improvement (§3.2, paper footnote 3).
+func BenchmarkAblationAcquisition(b *testing.B) {
+	tk, task, sp, m := ablationSetup(b)
+	budget := tuner.Budget{MaxMeasurements: 96}
+	for i := 0; i < b.N; i++ {
+		full := tk.Tuner()
+		fullRes, err := full.Tune(task, sp, m, budget, rng.New(600))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ablated := tk.Tuner()
+		ablated.DisableAcq = true // falls back to EI
+		ablRes, err := ablated.Tune(task, sp, m, budget, rng.New(600))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fullRes.BestGFLOPS/ablRes.BestGFLOPS, "neural_acq_gain_x")
+	}
+}
+
+// BenchmarkAblationSamplerTau sweeps the ensemble rejection threshold τ
+// (§3.3; the paper grid-searched τ = 1/3).
+func BenchmarkAblationSamplerTau(b *testing.B) {
+	tk, task, sp, m := ablationSetup(b)
+	budget := tuner.Budget{MaxMeasurements: 64}
+	taus := []float64{1.0 / 9, sampler.DefaultTau, 2.0 / 3}
+	for i := 0; i < b.N; i++ {
+		for _, tau := range taus {
+			gl := tk.Tuner()
+			gl.Tau = tau
+			res, err := gl.Tune(task, sp, m, budget, rng.New(700))
+			if err != nil {
+				b.Fatal(err)
+			}
+			frac := float64(res.Invalid) / float64(res.Measurements)
+			b.ReportMetric(100*frac, "invalid_%_tau_"+tauLabel(tau))
+		}
+	}
+}
+
+func tauLabel(tau float64) string {
+	switch {
+	case tau < 0.2:
+		return "1_9"
+	case tau < 0.5:
+		return "1_3"
+	default:
+		return "2_3"
+	}
+}
+
+// BenchmarkAblationBlueprintSize compares prior quality when the Blueprint
+// is compressed to 3 dimensions versus the Fig. 8 knee.
+func BenchmarkAblationBlueprintSize(b *testing.B) {
+	e, _ := benchSetup(b)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	m := measure.MustNewLocal(hwspec.TitanXp)
+	cfgBase := e.Cfg().Toolkit
+	for i := 0; i < b.N; i++ {
+		scores := map[int]float64{}
+		for _, dim := range []int{3, 0} { // 0 = Fig. 8 knee
+			cfg := cfgBase
+			cfg.BlueprintDim = dim
+			tk, err := core.TrainToolkit(hwspec.TitanXp, cfg, rng.New(800+int64(dim)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := tk.Tuner().Tune(task, sp, m, tuner.Budget{MaxMeasurements: 32}, rng.New(801))
+			if err != nil {
+				b.Fatal(err)
+			}
+			scores[dim] = res.BestGFLOPS
+		}
+		b.ReportMetric(scores[0]/scores[3], "knee_vs_dim3_x")
+	}
+}

@@ -1,0 +1,96 @@
+// Command blueprintctl inspects the GPU datasheet registry and Blueprint
+// embeddings.
+//
+// Usage:
+//
+//	blueprintctl list                 # all known GPUs
+//	blueprintctl show  <gpu>          # one GPU's datasheet features
+//	blueprintctl embed <gpu> [-dim N] # its Blueprint vector
+//	blueprintctl dse                  # the Fig. 8 size/loss sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+func main() {
+	dim := flag.Int("dim", 0, "Blueprint dimension (0 = Fig. 8 knee)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "list":
+		t := metrics.NewTable("Known GPUs", "name", "generation", "gencode", "SMs", "peak GFLOPS", "mem GB/s")
+		for _, s := range hwspec.Registry() {
+			t.AddRowf(s.Name, s.Generation, s.Gencode, s.SMCount,
+				fmt.Sprintf("%.0f", s.PeakGFLOPS), fmt.Sprintf("%.0f", s.MemBWGBs))
+		}
+		fmt.Print(t.String())
+	case "show":
+		if len(args) < 2 {
+			usage()
+		}
+		s, err := hwspec.ByName(args[1])
+		if err != nil {
+			fail(err)
+		}
+		t := metrics.NewTable(fmt.Sprintf("Datasheet: %s (%s, %s)", s.Name, s.Generation, s.Gencode),
+			"feature", "value")
+		names := hwspec.FeatureNames()
+		for i, v := range s.FeatureVector() {
+			t.AddRowf(names[i], v)
+		}
+		fmt.Print(t.String())
+	case "embed":
+		if len(args) < 2 {
+			usage()
+		}
+		s, err := hwspec.ByName(args[1])
+		if err != nil {
+			fail(err)
+		}
+		d := *dim
+		if d <= 0 {
+			d = blueprint.DefaultDim()
+		}
+		emb, err := blueprint.Build(hwspec.Registry(), d)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Blueprint(%s), dim=%d, explained variance %.4f:\n", s.Name, d, emb.ExplainedVariance())
+		for i, v := range emb.Embed(s) {
+			fmt.Printf("  pc%-2d %+.4f\n", i+1, v)
+		}
+	case "dse":
+		points, err := blueprint.DSE(hwspec.Registry())
+		if err != nil {
+			fail(err)
+		}
+		t := metrics.NewTable("Blueprint DSE (Fig. 8)", "dim", "size %", "info loss", "explained")
+		for _, p := range points {
+			t.AddRowf(p.Dim, fmt.Sprintf("%.0f%%", 100*p.RelativeSize),
+				fmt.Sprintf("%.5f", p.Loss), fmt.Sprintf("%.4f", p.Explained))
+		}
+		fmt.Print(t.String())
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: blueprintctl [flags] list | show <gpu> | embed <gpu> | dse")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "blueprintctl:", err)
+	os.Exit(1)
+}

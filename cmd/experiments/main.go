@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated-GPU substrate.
+//
+// Usage:
+//
+//	experiments [-run all|fig1|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation]
+//	            [-seed N] [-scale quick|default|full] [-v]
+//
+// Scales: quick (CI smoke), default (laptop minutes, paper shapes), full
+// (every task, larger budgets; closest to the paper's setting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/experiments"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiments to run (comma-separated ids or 'all')")
+	seed := flag.Int64("seed", 2022, "master random seed")
+	scale := flag.String("scale", "default", "quick | default | full")
+	tasksPer := flag.Int("tasks", 0, "override tasks per model (-1 = all)")
+	budget := flag.Int("budget", 0, "override measurements per tuning run")
+	verbose := flag.Bool("v", false, "log per-run progress")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	switch *scale {
+	case "quick":
+		cfg.Targets = []string{hwspec.TitanXp, hwspec.RTX3090}
+		cfg.Models = []string{workload.ResNet18}
+		cfg.TasksPerModel = 2
+		cfg.MaxMeasurements = 96
+		cfg.Patience = 3
+	case "default":
+		// zero-value defaults: 4 GPUs × 3 models × 4 tasks, 192 measurements
+	case "full":
+		cfg.TasksPerModel = -1 // all tasks
+		cfg.MaxMeasurements = 384
+		cfg.Patience = 6
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *tasksPer != 0 {
+		cfg.TasksPerModel = *tasksPer
+	}
+	if *budget != 0 {
+		cfg.MaxMeasurements = *budget
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	cfg.Progress = progress
+	env := experiments.NewEnv(cfg)
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	selected := func(id string) bool { return all || want[id] }
+
+	type renderer interface{ Render() string }
+	emit := func(id string, r renderer, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", id, r.Render())
+	}
+
+	if selected("table1") {
+		r, err := env.Table1()
+		emit("table1", r, err)
+	}
+	if selected("fig8") {
+		r, err := env.Fig8()
+		emit("fig8", r, err)
+	}
+	if selected("fig1") {
+		r, err := env.Fig1()
+		emit("fig1", r, err)
+	}
+	if selected("fig4") {
+		r, err := env.Fig4()
+		emit("fig4", r, err)
+	}
+	if selected("fig5") {
+		r, err := env.Fig5()
+		emit("fig5", r, err)
+	}
+	if selected("ablation") {
+		r, err := env.Ablation()
+		emit("ablation", r, err)
+	}
+	// The fleet-scaling study is an extension beyond the paper's artifact
+	// list; run it only when asked for explicitly.
+	if want["scaling"] {
+		r, err := env.Scaling()
+		emit("scaling", r, err)
+	}
+	needGrid := selected("fig6") || selected("fig7") || selected("fig9") || selected("table2")
+	if needGrid {
+		grid, err := env.RunGrid([]string{"autotvm", "chameleon", "dgp", "glimpse"})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid failed: %v\n", err)
+			os.Exit(1)
+		}
+		if selected("fig6") {
+			r, err := experiments.Fig6(grid)
+			emit("fig6", r, err)
+		}
+		if selected("fig7") {
+			r, err := experiments.Fig7(grid)
+			emit("fig7", r, err)
+		}
+		if selected("fig9") {
+			r, err := experiments.Fig9(grid)
+			emit("fig9", r, err)
+		}
+		if selected("table2") {
+			r, err := experiments.Table2(grid)
+			emit("table2", r, err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command fleet tunes a model across a fleet of GPUs and writes one
+// deployment plan (best schedule + kernel per task, end-to-end latency)
+// per device — the multi-hardware scenario that motivates the paper.
+//
+// Usage:
+//
+//	fleet -model resnet-18 -gpus titan-xp,rtx-3090 -tuner glimpse \
+//	      -budget 128 -out plans/ [-kernels] [-artifacts dir]
+//
+// With -tuner glimpse, offline artifacts are trained per target (cached
+// under -artifacts if given). Other tuners: autotvm, chameleon, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/fleet"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", workload.ResNet18, "model to deploy")
+	gpus := flag.String("gpus", strings.Join(hwspec.Targets, ","), "comma-separated target GPUs")
+	tunerName := flag.String("tuner", "glimpse", "glimpse | autotvm | chameleon | random")
+	budget := flag.Int("budget", 128, "measurements per task")
+	out := flag.String("out", "", "directory for per-GPU plan JSON files")
+	kernels := flag.Bool("kernels", false, "embed generated kernel source in plans")
+	artifacts := flag.String("artifacts", "", "toolkit cache directory (glimpse only)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var targets []string
+	for _, n := range strings.Split(*gpus, ",") {
+		targets = append(targets, strings.TrimSpace(n))
+	}
+	g := rng.New(*seed)
+
+	// For Glimpse, prepare one toolkit per target up front.
+	var mu sync.Mutex
+	toolkits := map[string]*core.Toolkit{}
+	toolkitFor := func(gpu string) (*core.Toolkit, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if tk, ok := toolkits[gpu]; ok {
+			return tk, nil
+		}
+		if *artifacts != "" {
+			path := filepath.Join(*artifacts, gpu+".toolkit.json")
+			if tk, err := core.LoadToolkit(path); err == nil && tk.TargetName == gpu {
+				fmt.Fprintf(os.Stderr, "fleet: loaded artifacts for %s\n", gpu)
+				toolkits[gpu] = tk
+				return tk, nil
+			}
+		}
+		fmt.Fprintf(os.Stderr, "fleet: training artifacts for %s...\n", gpu)
+		tk, err := core.TrainToolkit(gpu, core.ToolkitConfig{}, g.Split("toolkit/"+gpu))
+		if err != nil {
+			return nil, err
+		}
+		if *artifacts != "" {
+			if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+				return nil, err
+			}
+			if err := tk.Save(filepath.Join(*artifacts, gpu+".toolkit.json")); err != nil {
+				return nil, err
+			}
+		}
+		toolkits[gpu] = tk
+		return tk, nil
+	}
+
+	cfg := fleet.Config{
+		Model:           *model,
+		Budget:          tuner.Budget{MaxMeasurements: *budget, Patience: 4, Epsilon: 0.01},
+		GenerateKernels: *kernels,
+		NewTuner: func(task workload.Task, gpu string) (tuner.Tuner, error) {
+			switch *tunerName {
+			case "glimpse":
+				tk, err := toolkitFor(gpu)
+				if err != nil {
+					return nil, err
+				}
+				return tk.Tuner(), nil
+			case "autotvm":
+				return tuner.AutoTVM{}, nil
+			case "chameleon":
+				return tuner.Chameleon{}, nil
+			case "random":
+				return tuner.Random{}, nil
+			default:
+				return nil, fmt.Errorf("unknown tuner %q", *tunerName)
+			}
+		},
+	}
+
+	plans, err := fleet.TuneFleet(cfg, targets, g.Split("fleet"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("Deployment plans: %s via %s (%d measurements/task)", *model, *tunerName, *budget),
+		"gpu", "latency ms", "GPU s", "measured", "invalid")
+	for _, p := range plans {
+		table.AddRowf(p.GPU, fmt.Sprintf("%.4f", p.LatencyMS), fmt.Sprintf("%.0f", p.GPUSeconds),
+			p.Measurements, p.Invalid)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, fmt.Sprintf("%s.%s.plan.json", *model, p.GPU))
+			if err := p.Save(path); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Print(table.String())
+	if *out != "" {
+		fmt.Printf("plans written to %s/\n", *out)
+	}
+}

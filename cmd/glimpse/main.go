@@ -1,0 +1,147 @@
+// Command glimpse tunes a DNN model for a target GPU with the Glimpse
+// hardware-aware compiler and prints per-task results.
+//
+// Usage:
+//
+//	glimpse -model resnet-18 -gpu titan-xp [-tasks 1,7,17] [-budget 192]
+//	        [-seed N] [-compare] [-rpc addr] [-artifacts path] [-log path]
+//
+// With -compare, AutoTVM runs on the same tasks for reference. With -rpc,
+// measurements go to a measurement server (cmd/measured) instead of the
+// in-process simulator. -artifacts caches the trained offline toolkit
+// (loaded when present, trained and saved otherwise); -log appends every
+// hardware measurement as a JSON line (AutoTVM-style tuning log).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tlog"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", workload.ResNet18, "model: alexnet | resnet-18 | vgg-16")
+	gpu := flag.String("gpu", hwspec.TitanXp, "target GPU (see cmd/blueprintctl list)")
+	taskList := flag.String("tasks", "", "comma-separated 1-based task indices (default: all)")
+	budget := flag.Int("budget", 192, "hardware measurements per task")
+	seed := flag.Int64("seed", 1, "random seed")
+	compare := flag.Bool("compare", false, "also run AutoTVM for reference")
+	rpcAddr := flag.String("rpc", "", "measurement server address (default: in-process simulator)")
+	artifacts := flag.String("artifacts", "", "toolkit artifact cache path (load or train+save)")
+	logPath := flag.String("log", "", "append measurements to this JSONL tuning log")
+	flag.Parse()
+
+	tasks, err := workload.Tasks(*model)
+	if err != nil {
+		fail(err)
+	}
+	if *taskList != "" {
+		var picked []workload.Task
+		for _, s := range strings.Split(*taskList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fail(fmt.Errorf("bad task index %q: %w", s, err))
+			}
+			task, err := workload.TaskByIndex(*model, n)
+			if err != nil {
+				fail(err)
+			}
+			picked = append(picked, task)
+		}
+		tasks = picked
+	}
+
+	var m measure.Measurer
+	if *rpcAddr != "" {
+		remote, err := measure.Dial(*rpcAddr, *gpu)
+		if err != nil {
+			fail(err)
+		}
+		defer remote.Close()
+		m = remote
+	} else {
+		local, err := measure.NewLocal(*gpu)
+		if err != nil {
+			fail(err)
+		}
+		m = local
+	}
+
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		m = &tlog.RecordingMeasurer{Inner: m, Out: tlog.NewWriter(f)}
+	}
+
+	g := rng.New(*seed)
+	var tk *core.Toolkit
+	if *artifacts != "" {
+		if loaded, err := core.LoadToolkit(*artifacts); err == nil && loaded.TargetName == *gpu {
+			fmt.Fprintf(os.Stderr, "loaded trained artifacts from %s\n", *artifacts)
+			tk = loaded
+		}
+	}
+	if tk == nil {
+		fmt.Fprintf(os.Stderr, "training Glimpse offline artifacts for %s (leave-target-out)...\n", *gpu)
+		var err error
+		tk, err = core.TrainToolkit(*gpu, core.ToolkitConfig{}, g.Split("toolkit"))
+		if err != nil {
+			fail(err)
+		}
+		if *artifacts != "" {
+			if err := tk.Save(*artifacts); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved artifacts to %s\n", *artifacts)
+		}
+	}
+
+	bud := tuner.Budget{MaxMeasurements: *budget, Patience: 4, Epsilon: 0.01}
+	table := metrics.NewTable(
+		fmt.Sprintf("Glimpse tuning %s on %s (%d measurements/task)", *model, *gpu, *budget),
+		"task", "tuner", "best GFLOPS", "kernel ms", "measured", "invalid", "GPU s")
+	for _, task := range tasks {
+		sp, err := space.ForTask(task)
+		if err != nil {
+			fail(err)
+		}
+		gl := tk.Tuner()
+		res, err := gl.Tune(task, sp, m, bud, g.Split("tune/"+task.Name()))
+		if err != nil {
+			fail(err)
+		}
+		table.AddRowf(task.Name(), "glimpse",
+			fmt.Sprintf("%.0f", res.BestGFLOPS), fmt.Sprintf("%.4f", res.BestTimeMS),
+			res.Measurements, res.Invalid, fmt.Sprintf("%.0f", res.GPUSeconds))
+		if *compare {
+			ares, err := tuner.AutoTVM{}.Tune(task, sp, m, bud, g.Split("autotvm/"+task.Name()))
+			if err != nil {
+				fail(err)
+			}
+			table.AddRowf("", "autotvm",
+				fmt.Sprintf("%.0f", ares.BestGFLOPS), fmt.Sprintf("%.4f", ares.BestTimeMS),
+				ares.Measurements, ares.Invalid, fmt.Sprintf("%.0f", ares.GPUSeconds))
+		}
+	}
+	fmt.Print(table.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "glimpse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Command measured serves simulated GPUs over net/rpc — the stand-in for
+// the paper's measurement boards ("multiple generations of GPUs connected
+// via RPC"). cmd/glimpse -rpc <addr> tunes against it.
+//
+// Usage:
+//
+//	measured [-addr 127.0.0.1:4817] [-gpus titan-xp,rtx-3090,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4817", "listen address")
+	gpus := flag.String("gpus", strings.Join(hwspec.Targets, ","), "comma-separated GPUs to host")
+	flag.Parse()
+
+	var names []string
+	for _, n := range strings.Split(*gpus, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
+	srv, err := measure.NewServer(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measured:", err)
+		os.Exit(1)
+	}
+	bound, err := srv.Serve(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measured:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured: serving %v on %s\n", names, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

@@ -1,0 +1,90 @@
+// Command tensetgen generates an offline tuning corpus in the spirit of
+// TenSet (Zheng et al., NeurIPS'21 Datasets & Benchmarks): random
+// configurations of every task of the chosen models, measured on a pool of
+// simulated GPUs, written as a JSONL tuning log. The corpus is what
+// transfer methods consume and what Glimpse's prior generator H trains on.
+//
+// Usage:
+//
+//	tensetgen -out corpus.jsonl [-models alexnet,resnet-18,vgg-16]
+//	          [-gpus all|name,name,...] [-samples 200] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tlog"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "corpus.jsonl", "output tuning-log path")
+	models := flag.String("models", strings.Join(workload.Models, ","), "models to sample")
+	gpus := flag.String("gpus", "all", "GPUs to measure on ('all' or comma-separated)")
+	samples := flag.Int("samples", 200, "random configurations per (GPU, task)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var gpuNames []string
+	if *gpus == "all" {
+		for _, s := range hwspec.Registry() {
+			gpuNames = append(gpuNames, s.Name)
+		}
+	} else {
+		for _, n := range strings.Split(*gpus, ",") {
+			gpuNames = append(gpuNames, strings.TrimSpace(n))
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	w := tlog.NewWriter(f)
+	g := rng.New(*seed)
+
+	total := 0
+	for _, gpu := range gpuNames {
+		local, err := measure.NewLocal(gpu)
+		if err != nil {
+			fail(err)
+		}
+		rec := &tlog.RecordingMeasurer{Inner: local, Out: w}
+		for _, model := range strings.Split(*models, ",") {
+			tasks, err := workload.Tasks(strings.TrimSpace(model))
+			if err != nil {
+				fail(err)
+			}
+			for _, task := range tasks {
+				sp, err := space.ForTask(task)
+				if err != nil {
+					fail(err)
+				}
+				sg := g.Split(gpu + "/" + task.Name())
+				idxs := make([]int64, *samples)
+				for i := range idxs {
+					idxs[i] = sp.RandomIndex(sg)
+				}
+				if _, err := rec.MeasureBatch(task, sp, idxs); err != nil {
+					fail(err)
+				}
+				total += len(idxs)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "tensetgen: finished %s (%d measurements so far)\n", gpu, total)
+	}
+	fmt.Printf("tensetgen: wrote %d measurements to %s\n", total, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tensetgen:", err)
+	os.Exit(1)
+}

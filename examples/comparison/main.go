@@ -1,0 +1,93 @@
+// Comparison: every tuner in the paper, head to head on one layer.
+//
+// Random, AutoTVM (± transfer learning), Chameleon, DGP, and Glimpse tune
+// the same task on the same simulated GPU with an equal measurement
+// budget — a miniature of the paper's end-to-end evaluation (Fig. 9).
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	const target = hwspec.RTX2080Ti
+	g := rng.New(42)
+	task, err := workload.TaskByIndex(workload.VGG16, 8) // 512→512 28×28 conv
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	m := measure.MustNewLocal(target)
+	budget := tuner.Budget{MaxMeasurements: 160}
+
+	// Transfer corpus for AutoTVM-TL and DGP: random measurements of the
+	// same task on two other GPUs (leave-target-out).
+	td := &tuner.TransferData{}
+	for _, src := range []string{"gtx-1080-ti", "rtx-3070"} {
+		sm := measure.MustNewLocal(src)
+		sg := g.Split("transfer/" + src)
+		for i := 0; i < 120; i++ {
+			idx := sp.RandomIndex(sg)
+			res, err := sm.MeasureBatch(task, sp, []int64{idx})
+			if err != nil {
+				log.Fatal(err)
+			}
+			v := 0.0
+			if res[0].Valid {
+				v = res[0].GFLOPS
+			}
+			td.Features = append(td.Features, sp.FeaturesAt(idx))
+			td.GFLOPS = append(td.GFLOPS, v)
+		}
+	}
+
+	fmt.Printf("training Glimpse toolkit for %s...\n", target)
+	tk, err := core.TrainToolkit(target, core.ToolkitConfig{}, g.Split("toolkit"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tuners := []tuner.Tuner{
+		tuner.Random{},
+		tuner.AutoTVM{},
+		tuner.AutoTVM{Transfer: td},
+		tuner.Chameleon{},
+		tuner.DGP{Source: td},
+		tk.Tuner(),
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("All tuners on %s / %s (%d measurements each)", target, task.Name(), budget.MaxMeasurements),
+		"tuner", "best GFLOPS", "kernel ms", "invalid", "GPU s", "meas. to best")
+	for _, tn := range tuners {
+		res, err := tn.Tune(task, sp, m, budget, g.Split("run/"+tn.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// How early did it lock in its final quality?
+		toBest := res.Measurements
+		for _, h := range res.History {
+			if h.BestGFLOPS >= 0.99*res.BestGFLOPS {
+				toBest = h.Measurements
+				break
+			}
+		}
+		table.AddRowf(res.TunerName,
+			fmt.Sprintf("%.0f", res.BestGFLOPS), fmt.Sprintf("%.4f", res.BestTimeMS),
+			res.Invalid, fmt.Sprintf("%.0f", res.GPUSeconds), toBest)
+	}
+	fmt.Print(table.String())
+	fmt.Println("\nGlimpse should reach its final quality in the fewest measurements with the fewest invalid configs.")
+}

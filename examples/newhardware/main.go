@@ -1,0 +1,105 @@
+// New hardware: onboarding a GPU nobody has ever tuned on.
+//
+// The promise of the Blueprint (§3.1) is that a *datasheet alone* carries
+// enough architectural signal to seed the search. This example builds the
+// Blueprint for a target GPU, inspects what the embedding preserves,
+// generates prior distributions for a layer, and shows that the prior's
+// first guesses are already strong — before any tuning loop runs.
+//
+//	go run ./examples/newhardware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/prior"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	const target = hwspec.RTX3090 // treat the newest GPU as "never seen"
+	g := rng.New(23)
+
+	// 1. Build the Blueprint from the datasheet registry.
+	dim := blueprint.DefaultDim()
+	emb, err := blueprint.Build(hwspec.Registry(), dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := hwspec.MustByName(target)
+	vec := emb.Embed(spec)
+	fmt.Printf("Blueprint(%s): %d numbers summarizing %d datasheet fields "+
+		"(%.2f%% information loss over the registry)\n",
+		target, dim, hwspec.FeatureDim, 100*blueprint.InformationLoss(hwspec.Registry(), emb))
+
+	// The embedding is invertible enough to recover launch limits — the
+	// basis of Hardware-Aware Sampling (§3.3).
+	for _, f := range []string{"max_threads_per_block", "max_smem_per_block_kb", "mem_bw_gbs"} {
+		v, err := emb.ReconstructFeature(vec, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  reconstructed %-24s ≈ %.0f\n", f, v)
+	}
+
+	// 2. Train the prior generator H on every *other* GPU.
+	fmt.Println("\ntraining prior generator H on the training pool (target excluded)...")
+	var tasks []workload.Task
+	for _, model := range workload.Models {
+		tasks = append(tasks, workload.MustTasks(model)...)
+	}
+	h, err := prior.Train(emb, hwspec.TrainingPool(target), tasks, prior.TrainConfig{}, g.Split("H"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask H for prior distributions of a VGG-16 layer on the new GPU and
+	//    measure its first 20 suggestions vs 20 uniform random configs.
+	task, err := workload.TaskByIndex(workload.VGG16, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	dist, err := h.Distributions(task, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := measure.MustNewLocal(target)
+	best := func(idxs []int64) (float64, int) {
+		results, err := m.MeasureBatch(task, sp, idxs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top, invalid := 0.0, 0
+		for _, r := range results {
+			if !r.Valid {
+				invalid++
+				continue
+			}
+			if r.GFLOPS > top {
+				top = r.GFLOPS
+			}
+		}
+		return top, invalid
+	}
+	priorBest, priorInvalid := best(dist.Sample(sp, 20, g.Split("prior")))
+	rg := g.Split("rand")
+	randIdxs := make([]int64, 20)
+	for i := range randIdxs {
+		randIdxs[i] = sp.RandomIndex(rg)
+	}
+	randBest, randInvalid := best(randIdxs)
+
+	dev := gpusim.NewDevice(spec)
+	fmt.Printf("\n%s on %s (peak %.0f GFLOPS):\n", task.Name(), target, dev.Spec.PeakGFLOPS)
+	fmt.Printf("  20 prior-guided configs: best %.0f GFLOPS, %d invalid\n", priorBest, priorInvalid)
+	fmt.Printf("  20 random configs:       best %.0f GFLOPS, %d invalid\n", randBest, randInvalid)
+	fmt.Printf("  datasheet-only advantage: %.2fx\n", priorBest/randBest)
+}

@@ -1,0 +1,65 @@
+// Quickstart: tune a single convolution task on one GPU with Glimpse.
+//
+// It trains the offline artifacts (Blueprint embedding, prior generator H,
+// meta-learned acquisition) on every GPU except the target, then tunes
+// ResNet-18's 7th task on the never-measured target — the paper's core
+// transfer setting — and compares the result against random search.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func main() {
+	const target = hwspec.TitanXp
+	g := rng.New(7)
+
+	// 1. Pick a task: ResNet-18's L7 convolution (the paper's Fig. 1 layer).
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	fmt.Printf("task %s: %d-knob space with %d configurations\n",
+		task.Name(), sp.NumKnobs(), sp.Size())
+
+	// 2. Train Glimpse's offline artifacts, leaving the target GPU out.
+	fmt.Println("training offline artifacts (blueprint + prior + acquisition)...")
+	tk, err := core.TrainToolkit(target, core.ToolkitConfig{}, g.Split("toolkit"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Tune on the (simulated) target hardware.
+	m := measure.MustNewLocal(target)
+	budget := tuner.Budget{MaxMeasurements: 128, Patience: 4, Epsilon: 0.01}
+	res, err := tk.Tuner().Tune(task, sp, m, budget, g.Split("tune"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("glimpse: best %.0f GFLOPS (kernel %.4f ms) after %d measurements, %d invalid, %.0f GPU-seconds\n",
+		res.BestGFLOPS, res.BestTimeMS, res.Measurements, res.Invalid, res.GPUSeconds)
+	fmt.Printf("best schedule: %s\n", sp.Describe(sp.FromIndex(res.BestIndex)))
+
+	// 4. Reference: random search with the same budget.
+	rres, err := tuner.Random{}.Tune(task, sp, m, budget, g.Split("random"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random:  best %.0f GFLOPS after %d measurements (%d invalid)\n",
+		rres.BestGFLOPS, rres.Measurements, rres.Invalid)
+	fmt.Printf("glimpse advantage: %.2fx better code, %.1fx fewer invalid measurements\n",
+		res.BestGFLOPS/rres.BestGFLOPS,
+		float64(rres.Invalid+1)/float64(res.Invalid+1))
+}

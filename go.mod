@@ -1,0 +1,3 @@
+module github.com/neuralcompile/glimpse
+
+go 1.22

@@ -1,0 +1,161 @@
+package acq
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func TestEIProperties(t *testing.T) {
+	// Higher mean → higher EI at fixed std.
+	if EI(10, 1, 5) <= EI(6, 1, 5) {
+		t.Fatal("EI not increasing in mean")
+	}
+	// At mean == best, more uncertainty → more EI.
+	if EI(5, 2, 5) <= EI(5, 0.5, 5) {
+		t.Fatal("EI not increasing in std at the incumbent")
+	}
+	// Zero-std candidate below best has zero EI.
+	if got := EI(4, 0, 5); got != 0 {
+		t.Fatalf("EI(4,0,5) = %g want 0", got)
+	}
+	// Zero-std candidate above best has EI = improvement.
+	if got := EI(7, 0, 5); got != 2 {
+		t.Fatalf("EI(7,0,5) = %g want 2", got)
+	}
+	// EI is always non-negative.
+	for _, mean := range []float64{-3, 0, 5, 10} {
+		for _, std := range []float64{0.1, 1, 4} {
+			if EI(mean, std, 5) < -1e-12 {
+				t.Fatalf("EI(%g,%g,5) negative", mean, std)
+			}
+		}
+	}
+}
+
+func TestUCB(t *testing.T) {
+	if got := UCB(3, 2, 1.5); got != 6 {
+		t.Fatalf("UCB = %g want 6", got)
+	}
+	if UCB(3, 2, 0) != 3 {
+		t.Fatal("UCB with κ=0 should be the mean")
+	}
+}
+
+func TestFeaturesShapeAndScaleInvariance(t *testing.T) {
+	emb := []float64{0.5, -0.5}
+	s1 := Stats{Mean: 100, Std: 10, Best: 120, Progress: 0.3, PriorLogProb: -5}
+	f1 := Features(s1, emb)
+	if len(f1) != FeatureDim(2) {
+		t.Fatalf("feature len %d want %d", len(f1), FeatureDim(2))
+	}
+	// Scaling GFLOPS by 1000× leaves normalized features nearly unchanged.
+	s2 := Stats{Mean: 100000, Std: 10000, Best: 120000, Progress: 0.3, PriorLogProb: -5}
+	f2 := Features(s2, emb)
+	for i := range f1 {
+		if math.Abs(f1[i]-f2[i]) > 0.02 {
+			t.Fatalf("feature %d not scale-invariant: %g vs %g", i, f1[i], f2[i])
+		}
+	}
+}
+
+func smallPoolAndTasks(t *testing.T) (*blueprint.Embedding, []hwspec.Spec, []workload.Task) {
+	t.Helper()
+	emb, err := blueprint.Build(hwspec.Registry(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []hwspec.Spec{
+		hwspec.MustByName("gtx-1080"),
+		hwspec.MustByName("rtx-2080"),
+	}
+	var tasks []workload.Task
+	for _, l := range []int{7, 17} {
+		task, err := workload.TaskByIndex(workload.ResNet18, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	return emb, pool, tasks
+}
+
+func TestMetaTrainProducesUsefulAcquisition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	emb, pool, tasks := smallPoolAndTasks(t)
+	a, err := MetaTrain(emb, pool, tasks, MetaConfig{
+		Steps: 5, Batch: 6, Pool: 32, Epochs: 150,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := emb.Embed(hwspec.MustByName(hwspec.TitanXp))
+	// A candidate with clearly promising posterior should outscore a
+	// clearly hopeless one.
+	promising := a.Score(Stats{Mean: 1.3, Std: 0.4, Best: 1, Progress: 0.5}, hw)
+	hopeless := a.Score(Stats{Mean: 0.1, Std: 0.01, Best: 1, Progress: 0.5}, hw)
+	if promising <= hopeless {
+		t.Fatalf("neural acq: promising %g ≤ hopeless %g", promising, hopeless)
+	}
+}
+
+func TestMetaTrainValidation(t *testing.T) {
+	emb, _, tasks := smallPoolAndTasks(t)
+	if _, err := MetaTrain(emb, nil, tasks, MetaConfig{}, rng.New(1)); err == nil {
+		t.Fatal("empty GPU pool accepted")
+	}
+	if _, err := MetaTrain(emb, hwspec.Registry()[:1], nil, MetaConfig{}, rng.New(1)); err == nil {
+		t.Fatal("empty task list accepted")
+	}
+}
+
+func TestNeuralScorePanicsOnDimMismatch(t *testing.T) {
+	emb, pool, tasks := smallPoolAndTasks(t)
+	a, err := MetaTrain(emb, pool, tasks[:1], MetaConfig{
+		Steps: 2, Batch: 4, Pool: 8, Epochs: 10,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	a.Score(Stats{}, []float64{1})
+}
+
+func TestNeuralSerializationRoundTrip(t *testing.T) {
+	emb, pool, tasks := smallPoolAndTasks(t)
+	a, err := MetaTrain(emb, pool, tasks[:1], MetaConfig{
+		Steps: 2, Batch: 4, Pool: 8, Epochs: 10,
+	}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Neural
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	hw := emb.Embed(hwspec.MustByName(hwspec.RTX3090))
+	s := Stats{Mean: 1.2, Std: 0.3, Best: 1, Progress: 0.4, PriorLogProb: -3}
+	if a.Score(s, hw) != restored.Score(s, hw) {
+		t.Fatal("restored acquisition differs")
+	}
+	// Corrupt payload rejected.
+	var bad Neural
+	if err := json.Unmarshal([]byte(`{"emb_dim":2}`), &bad); err == nil {
+		t.Fatal("missing net accepted")
+	}
+}

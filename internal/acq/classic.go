@@ -1,0 +1,37 @@
+// Package acq implements acquisition functions for the Bayesian
+// optimization loop: classic Expected Improvement and UCB (the paper's
+// footnote 3 ablation), and Glimpse's neural acquisition function (§3.2) —
+// a small network meta-trained across (hardware, network) pairs, MetaBO
+// style, that consumes surrogate statistics together with the hardware
+// Blueprint to balance exploration and exploitation per target device.
+package acq
+
+import "math"
+
+// EI returns the Expected Improvement of a candidate with posterior
+// (mean, std) over the current best (maximization).
+func EI(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean > best {
+			return mean - best
+		}
+		return 0
+	}
+	z := (mean - best) / std
+	return (mean-best)*normCDF(z) + std*normPDF(z)
+}
+
+// UCB returns the Upper Confidence Bound acquisition mean + κ·std.
+func UCB(mean, std, kappa float64) float64 {
+	return mean + kappa*std
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal CDF via erf.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

@@ -1,0 +1,84 @@
+package acq
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"github.com/neuralcompile/glimpse/internal/nn"
+)
+
+// Stats are the per-candidate inputs to the neural acquisition function.
+type Stats struct {
+	Mean         float64 // surrogate posterior mean (GFLOPS scale)
+	Std          float64 // surrogate posterior std
+	Best         float64 // best measured value so far
+	Progress     float64 // t/T fraction of the optimization budget spent
+	PriorLogProb float64 // Blueprint-prior log probability of the candidate
+}
+
+// baseFeatureDim is the number of candidate features before the Blueprint.
+const baseFeatureDim = 5
+
+// FeatureDim returns the input width of the neural acquisition function for
+// a given Blueprint dimension.
+func FeatureDim(embDim int) int { return baseFeatureDim + embDim }
+
+// Features builds the input vector. Mean/std/best are normalized by the
+// best-so-far scale so the function transfers across tasks of wildly
+// different GFLOPS magnitudes.
+func Features(s Stats, emb []float64) []float64 {
+	scale := math.Abs(s.Best) + 1
+	z := 0.0
+	if s.Std > 0 {
+		z = (s.Mean - s.Best) / s.Std
+	}
+	out := make([]float64, 0, FeatureDim(len(emb)))
+	out = append(out,
+		(s.Mean-s.Best)/scale,
+		s.Std/scale,
+		math.Tanh(z/3),
+		s.Progress,
+		math.Tanh(s.PriorLogProb/10),
+	)
+	return append(out, emb...)
+}
+
+// Neural is the meta-learned acquisition function.
+type Neural struct {
+	Net    *nn.Network
+	EmbDim int
+}
+
+// Score returns the acquisition value of one candidate.
+func (a *Neural) Score(s Stats, emb []float64) float64 {
+	if len(emb) != a.EmbDim {
+		panic(fmt.Sprintf("acq: embedding dim %d want %d", len(emb), a.EmbDim))
+	}
+	return a.Net.Predict(Features(s, emb))[0]
+}
+
+// neuralJSON is the serialized form.
+type neuralJSON struct {
+	EmbDim int         `json:"emb_dim"`
+	Net    *nn.Network `json:"net"`
+}
+
+// MarshalJSON serializes the acquisition function.
+func (a *Neural) MarshalJSON() ([]byte, error) {
+	return json.Marshal(neuralJSON{EmbDim: a.EmbDim, Net: a.Net})
+}
+
+// UnmarshalJSON restores a serialized acquisition function.
+func (a *Neural) UnmarshalJSON(data []byte) error {
+	var v neuralJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.Net == nil {
+		return fmt.Errorf("acq: serialized acquisition missing network")
+	}
+	a.EmbDim = v.EmbDim
+	a.Net = v.Net
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package anneal implements batched simulated annealing over discrete
+// configuration indices. AutoTVM, Chameleon, and Glimpse all propose
+// measurement candidates by running parallel Markov chains on a surrogate
+// cost model; this package is that shared search engine.
+package anneal
+
+import (
+	"fmt"
+	"sort"
+
+	"math"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// Problem describes a discrete maximization problem for the annealer.
+type Problem struct {
+	// Size is the number of points in the space.
+	Size int64
+	// Score returns the surrogate value to maximize at index i.
+	Score func(i int64) float64
+	// Neighbor proposes a move from index i. If nil, a uniform random
+	// index is used (pure random-restart annealing).
+	Neighbor func(i int64, g *rng.RNG) int64
+}
+
+// Config controls the annealing schedule.
+type Config struct {
+	Chains      int     // parallel Markov chains
+	Steps       int     // steps per chain
+	StartTemp   float64 // initial temperature
+	FinalTemp   float64 // final temperature (geometric schedule)
+	InitialSeed []int64 // optional starting points (wrapped into chains)
+}
+
+// DefaultConfig mirrors AutoTVM's annealer scale, shrunk to simulator speed.
+func DefaultConfig() Config {
+	return Config{Chains: 64, Steps: 150, StartTemp: 1.0, FinalTemp: 0.02}
+}
+
+// Result is a visited point with its surrogate score.
+type Result struct {
+	Index int64
+	Score float64
+}
+
+// Run executes batched simulated annealing and returns the topK highest-
+// scoring distinct indices visited across all chains, best first.
+func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
+	if p.Size <= 0 {
+		return nil, fmt.Errorf("anneal: empty space")
+	}
+	if p.Score == nil {
+		return nil, fmt.Errorf("anneal: nil score function")
+	}
+	if cfg.Chains <= 0 || cfg.Steps <= 0 {
+		c := DefaultConfig()
+		c.InitialSeed = cfg.InitialSeed
+		cfg = c
+	}
+	if cfg.StartTemp <= 0 {
+		cfg.StartTemp = 1
+	}
+	if cfg.FinalTemp <= 0 || cfg.FinalTemp > cfg.StartTemp {
+		cfg.FinalTemp = cfg.StartTemp / 50
+	}
+	if topK <= 0 {
+		topK = 1
+	}
+
+	neighbor := p.Neighbor
+	if neighbor == nil {
+		neighbor = func(_ int64, g *rng.RNG) int64 { return g.Int63n(p.Size) }
+	}
+
+	// Initialize chains from seeds then uniform random.
+	state := make([]int64, cfg.Chains)
+	energy := make([]float64, cfg.Chains)
+	for c := 0; c < cfg.Chains; c++ {
+		if c < len(cfg.InitialSeed) {
+			state[c] = cfg.InitialSeed[c] % p.Size
+			if state[c] < 0 {
+				state[c] += p.Size
+			}
+		} else {
+			state[c] = g.Int63n(p.Size)
+		}
+		energy[c] = p.Score(state[c])
+	}
+
+	best := make(map[int64]float64, cfg.Chains*4)
+	record := func(i int64, s float64) {
+		if old, ok := best[i]; !ok || s > old {
+			best[i] = s
+		}
+	}
+	for c := range state {
+		record(state[c], energy[c])
+	}
+
+	cool := math.Pow(cfg.FinalTemp/cfg.StartTemp, 1/float64(cfg.Steps))
+	temp := cfg.StartTemp
+	for step := 0; step < cfg.Steps; step++ {
+		for c := 0; c < cfg.Chains; c++ {
+			cand := neighbor(state[c], g)
+			if cand < 0 || cand >= p.Size {
+				continue
+			}
+			s := p.Score(cand)
+			record(cand, s)
+			delta := s - energy[c]
+			if delta >= 0 || g.Float64() < math.Exp(delta/temp) {
+				state[c] = cand
+				energy[c] = s
+			}
+		}
+		temp *= cool
+	}
+
+	out := make([]Result, 0, len(best))
+	for i, s := range best {
+		out = append(out, Result{Index: i, Score: s})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Index < out[b].Index
+	})
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out, nil
+}

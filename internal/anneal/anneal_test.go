@@ -1,0 +1,138 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+func TestRunFindsGlobalOptimumSmallSpace(t *testing.T) {
+	g := rng.New(1)
+	// Score peaks at index 777 in a space of 10k.
+	p := Problem{
+		Size: 10000,
+		Score: func(i int64) float64 {
+			d := float64(i - 777)
+			return -d * d
+		},
+		Neighbor: func(i int64, g *rng.RNG) int64 {
+			return i + int64(g.Intn(201)) - 100
+		},
+	}
+	res, err := Run(p, Config{Chains: 32, Steps: 300, StartTemp: 1000, FinalTemp: 0.1}, 5, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Index != 777 {
+		t.Fatalf("best index = %d want 777", res[0].Index)
+	}
+}
+
+func TestRunResultsSortedAndDistinct(t *testing.T) {
+	g := rng.New(2)
+	p := Problem{
+		Size:  1000,
+		Score: func(i int64) float64 { return math.Sin(float64(i) / 50) },
+	}
+	res, err := Run(p, Config{Chains: 16, Steps: 100, StartTemp: 1, FinalTemp: 0.01}, 20, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 20 {
+		t.Fatalf("len = %d want 20", len(res))
+	}
+	seen := map[int64]bool{}
+	for i, r := range res {
+		if seen[r.Index] {
+			t.Fatalf("duplicate index %d", r.Index)
+		}
+		seen[r.Index] = true
+		if i > 0 && res[i-1].Score < r.Score {
+			t.Fatal("results not sorted descending")
+		}
+	}
+}
+
+func TestRunRespectsSeeds(t *testing.T) {
+	g := rng.New(3)
+	visited := map[int64]bool{}
+	p := Problem{
+		Size: 1 << 40, // astronomically large: random restarts won't find 12345
+		Score: func(i int64) float64 {
+			visited[i] = true
+			if i == 12345 {
+				return 100
+			}
+			return 0
+		},
+		Neighbor: func(i int64, g *rng.RNG) int64 { return i + int64(g.Intn(3)) - 1 },
+	}
+	res, err := Run(p, Config{Chains: 4, Steps: 20, StartTemp: 1, FinalTemp: 0.1,
+		InitialSeed: []int64{12345}}, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Index != 12345 {
+		t.Fatalf("seeded optimum lost: best = %d", res[0].Index)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := rng.New(4)
+	if _, err := Run(Problem{Size: 0, Score: func(int64) float64 { return 0 }}, DefaultConfig(), 1, g); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, err := Run(Problem{Size: 10}, DefaultConfig(), 1, g); err == nil {
+		t.Fatal("nil score accepted")
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	g := rng.New(5)
+	p := Problem{Size: 100, Score: func(i int64) float64 { return float64(i) }}
+	res, err := Run(p, Config{}, 3, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("len = %d want 3", len(res))
+	}
+	// With default chains/steps over a 100-point space, the max must be found.
+	if res[0].Index != 99 {
+		t.Fatalf("best = %d want 99", res[0].Index)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := Problem{
+		Size:  5000,
+		Score: func(i int64) float64 { return math.Cos(float64(i) / 100) },
+	}
+	a, err := Run(p, Config{Chains: 8, Steps: 50, StartTemp: 1, FinalTemp: 0.05}, 10, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Config{Chains: 8, Steps: 50, StartTemp: 1, FinalTemp: 0.05}, 10, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic annealing")
+		}
+	}
+}
+
+func TestNegativeSeedWrapped(t *testing.T) {
+	g := rng.New(7)
+	p := Problem{Size: 50, Score: func(i int64) float64 { return -float64(i) }}
+	res, err := Run(p, Config{Chains: 2, Steps: 10, StartTemp: 1, FinalTemp: 0.1,
+		InitialSeed: []int64{-3}}, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Index < 0 || res[0].Index >= 50 {
+		t.Fatalf("out-of-range result %d", res[0].Index)
+	}
+}

@@ -1,0 +1,186 @@
+// Package blueprint implements the paper's Blueprint (§3.1): a compact
+// mathematical embedding of a GPU's public datasheet specification. Raw
+// hwspec feature vectors are standardized over the known-GPU registry and
+// compressed with Principal Component Analysis; the embedding dimension is
+// the knob that trades information loss against compiler overhead (the
+// design-space exploration of Fig. 8).
+package blueprint
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/mat"
+)
+
+// Embedding is a fitted PCA compressor for datasheet feature vectors.
+type Embedding struct {
+	Dim         int         // number of principal components kept
+	components  *mat.Matrix // Dim×D projection (rows are components)
+	means       []float64   // per-feature standardization means
+	stds        []float64   // per-feature standardization stds
+	eigenvalues []float64   // all eigenvalues, descending
+}
+
+// Build fits an embedding of the given dimension on the spec population.
+// Dim must be in [1, FeatureDim].
+func Build(specs []hwspec.Spec, dim int) (*Embedding, error) {
+	if len(specs) < 2 {
+		return nil, fmt.Errorf("blueprint: need ≥2 specs, got %d", len(specs))
+	}
+	if dim < 1 || dim > hwspec.FeatureDim {
+		return nil, fmt.Errorf("blueprint: dim %d outside [1, %d]", dim, hwspec.FeatureDim)
+	}
+	raw := mat.New(len(specs), hwspec.FeatureDim)
+	for i, s := range specs {
+		raw.SetRow(i, s.FeatureVector())
+	}
+	std, means, stds := mat.Standardize(raw)
+	cov := mat.Covariance(std)
+	eig, err := mat.SymEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("blueprint: eigendecomposition: %w", err)
+	}
+	comp := mat.New(dim, hwspec.FeatureDim)
+	for k := 0; k < dim; k++ {
+		for j := 0; j < hwspec.FeatureDim; j++ {
+			comp.Set(k, j, eig.Vectors.At(j, k))
+		}
+	}
+	return &Embedding{
+		Dim:         dim,
+		components:  comp,
+		means:       means,
+		stds:        stds,
+		eigenvalues: eig.Values,
+	}, nil
+}
+
+// standardize maps a raw feature vector into standardized space.
+func (e *Embedding) standardize(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	for j, v := range raw {
+		out[j] = v - e.means[j]
+		if e.stds[j] > 1e-12 {
+			out[j] /= e.stds[j]
+		}
+	}
+	return out
+}
+
+// Embed compresses a spec into its Blueprint vector of length Dim.
+func (e *Embedding) Embed(spec hwspec.Spec) []float64 {
+	return e.components.MulVec(e.standardize(spec.FeatureVector()))
+}
+
+// Reconstruct maps a Blueprint vector back to (approximate) raw datasheet
+// feature space — used by the hardware-aware sampler to recover resource
+// limits from the embedding alone.
+func (e *Embedding) Reconstruct(emb []float64) []float64 {
+	if len(emb) != e.Dim {
+		panic(fmt.Sprintf("blueprint: embedding length %d want %d", len(emb), e.Dim))
+	}
+	std := e.components.T().MulVec(emb)
+	out := make([]float64, len(std))
+	for j, v := range std {
+		out[j] = v*e.stds[j] + e.means[j]
+	}
+	return out
+}
+
+// ReconstructFeature returns the named datasheet feature recovered from a
+// Blueprint vector.
+func (e *Embedding) ReconstructFeature(emb []float64, name string) (float64, error) {
+	for j, n := range hwspec.FeatureNames() {
+		if n == name {
+			return e.Reconstruct(emb)[j], nil
+		}
+	}
+	return 0, fmt.Errorf("blueprint: unknown feature %q", name)
+}
+
+// ExplainedVariance returns the fraction of total variance the kept
+// components capture.
+func (e *Embedding) ExplainedVariance() float64 {
+	total, kept := 0.0, 0.0
+	for i, v := range e.eigenvalues {
+		if v < 0 {
+			v = 0
+		}
+		total += v
+		if i < e.Dim {
+			kept += v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return kept / total
+}
+
+// InformationLoss measures the RMSE (in standardized feature units,
+// normalized by the per-feature std of 1) between the spec population and
+// its reconstruction through the embedding — the y-axis of Fig. 8.
+func InformationLoss(specs []hwspec.Spec, e *Embedding) float64 {
+	orig := mat.New(len(specs), hwspec.FeatureDim)
+	recon := mat.New(len(specs), hwspec.FeatureDim)
+	for i, s := range specs {
+		std := e.standardize(s.FeatureVector())
+		orig.SetRow(i, std)
+		back := e.components.T().MulVec(e.components.MulVec(std))
+		recon.SetRow(i, back)
+	}
+	return mat.RMSE(orig, recon)
+}
+
+// DSEPoint is one point of the Blueprint design-space exploration.
+type DSEPoint struct {
+	Dim          int
+	RelativeSize float64 // Dim / FeatureDim (x-axis of Fig. 8)
+	Loss         float64 // information loss (y-axis of Fig. 8)
+	Explained    float64 // explained variance fraction
+}
+
+// DSE sweeps the embedding dimension over [1, FeatureDim] and reports the
+// loss/size trade-off of Fig. 8.
+func DSE(specs []hwspec.Spec) ([]DSEPoint, error) {
+	var out []DSEPoint
+	for dim := 1; dim <= hwspec.FeatureDim; dim++ {
+		e, err := Build(specs, dim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DSEPoint{
+			Dim:          dim,
+			RelativeSize: float64(dim) / float64(hwspec.FeatureDim),
+			Loss:         InformationLoss(specs, e),
+			Explained:    e.ExplainedVariance(),
+		})
+	}
+	return out, nil
+}
+
+// ChooseDim picks the smallest dimension whose information loss is below
+// maxLoss — the red-star knee of Fig. 8 (the paper targets <0.5% loss).
+func ChooseDim(specs []hwspec.Spec, maxLoss float64) (int, error) {
+	points, err := DSE(specs)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range points {
+		if p.Loss < maxLoss {
+			return p.Dim, nil
+		}
+	}
+	return hwspec.FeatureDim, nil
+}
+
+// DefaultDim builds the default-size embedding over the full registry
+// using the paper's <0.5% loss target.
+func DefaultDim() int {
+	dim, err := ChooseDim(hwspec.Registry(), 0.005)
+	if err != nil {
+		return hwspec.FeatureDim
+	}
+	return dim
+}

@@ -1,0 +1,162 @@
+package blueprint
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+)
+
+func TestBuildValidation(t *testing.T) {
+	specs := hwspec.Registry()
+	if _, err := Build(specs[:1], 3); err == nil {
+		t.Fatal("single-spec population accepted")
+	}
+	if _, err := Build(specs, 0); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := Build(specs, hwspec.FeatureDim+1); err == nil {
+		t.Fatal("oversized dim accepted")
+	}
+}
+
+func TestEmbedDimensions(t *testing.T) {
+	specs := hwspec.Registry()
+	for _, dim := range []int{1, 4, 8} {
+		e, err := Build(specs, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emb := e.Embed(specs[0])
+		if len(emb) != dim {
+			t.Fatalf("embedding len %d want %d", len(emb), dim)
+		}
+	}
+}
+
+func TestFullDimLosslessReconstruction(t *testing.T) {
+	specs := hwspec.Registry()
+	e, err := Build(specs, hwspec.FeatureDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss := InformationLoss(specs, e); loss > 1e-8 {
+		t.Fatalf("full-dim loss = %g want ≈0", loss)
+	}
+	// Round-trip an individual spec.
+	s := hwspec.MustByName(hwspec.RTX3090)
+	back := e.Reconstruct(e.Embed(s))
+	raw := s.FeatureVector()
+	for j := range raw {
+		if math.Abs(back[j]-raw[j]) > 1e-6*(1+math.Abs(raw[j])) {
+			t.Fatalf("feature %d: %g want %g", j, back[j], raw[j])
+		}
+	}
+}
+
+func TestLossMonotoneInDim(t *testing.T) {
+	specs := hwspec.Registry()
+	points, err := DSE(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != hwspec.FeatureDim {
+		t.Fatalf("DSE points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Loss > points[i-1].Loss+1e-9 {
+			t.Fatalf("loss increased with dim: %v -> %v", points[i-1], points[i])
+		}
+		if points[i].Explained < points[i-1].Explained-1e-9 {
+			t.Fatal("explained variance decreased with dim")
+		}
+	}
+	// Compression must be real: one component cannot be lossless.
+	if points[0].Loss < 0.01 {
+		t.Fatalf("dim-1 loss %g suspiciously low", points[0].Loss)
+	}
+}
+
+func TestChooseDimMeetsTarget(t *testing.T) {
+	specs := hwspec.Registry()
+	dim, err := ChooseDim(specs, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim < 1 || dim > hwspec.FeatureDim {
+		t.Fatalf("chosen dim %d", dim)
+	}
+	e, err := Build(specs, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss := InformationLoss(specs, e); loss >= 0.005 {
+		t.Fatalf("chosen dim %d loss %g ≥ target", dim, loss)
+	}
+	// It should genuinely compress (paper's knee is well below 100%).
+	if dim == hwspec.FeatureDim {
+		t.Fatalf("no compression achieved (dim %d)", dim)
+	}
+}
+
+func TestDefaultDimStable(t *testing.T) {
+	if got := DefaultDim(); got != DefaultDim() {
+		t.Fatal("DefaultDim not deterministic")
+	}
+}
+
+func TestEmbeddingsDiscriminateGenerations(t *testing.T) {
+	specs := hwspec.Registry()
+	e, err := Build(specs, DefaultDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-generation neighbours should be closer than cross-generation
+	// extremes: ‖2080Ti − 2080S‖ < ‖2080Ti − TitanXp‖.
+	d := func(a, b string) float64 {
+		ea := e.Embed(hwspec.MustByName(a))
+		eb := e.Embed(hwspec.MustByName(b))
+		s := 0.0
+		for i := range ea {
+			diff := ea[i] - eb[i]
+			s += diff * diff
+		}
+		return math.Sqrt(s)
+	}
+	if d("rtx-2080-ti", "titan-rtx") >= d("rtx-2080-ti", hwspec.TitanXp) {
+		t.Fatal("blueprint does not separate generations")
+	}
+}
+
+func TestReconstructFeature(t *testing.T) {
+	specs := hwspec.Registry()
+	e, err := Build(specs, hwspec.FeatureDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hwspec.MustByName(hwspec.TitanXp)
+	got, err := e.ReconstructFeature(e.Embed(s), "max_threads_per_block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1024) > 1 {
+		t.Fatalf("reconstructed max_threads_per_block = %g", got)
+	}
+	if _, err := e.ReconstructFeature(e.Embed(s), "flux_capacitance"); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestReconstructLengthPanics(t *testing.T) {
+	specs := hwspec.Registry()
+	e, err := Build(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad embedding length did not panic")
+		}
+	}()
+	e.Reconstruct([]float64{1, 2})
+}

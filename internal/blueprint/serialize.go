@@ -1,0 +1,58 @@
+package blueprint
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/mat"
+)
+
+// embeddingJSON is the serialized form of an Embedding.
+type embeddingJSON struct {
+	Dim         int         `json:"dim"`
+	Components  [][]float64 `json:"components"`
+	Means       []float64   `json:"means"`
+	Stds        []float64   `json:"stds"`
+	Eigenvalues []float64   `json:"eigenvalues"`
+}
+
+// MarshalJSON serializes the embedding.
+func (e *Embedding) MarshalJSON() ([]byte, error) {
+	rows := make([][]float64, e.Dim)
+	for i := 0; i < e.Dim; i++ {
+		rows[i] = e.components.Row(i)
+	}
+	return json.Marshal(embeddingJSON{
+		Dim:         e.Dim,
+		Components:  rows,
+		Means:       e.means,
+		Stds:        e.stds,
+		Eigenvalues: e.eigenvalues,
+	})
+}
+
+// UnmarshalJSON restores a serialized embedding.
+func (e *Embedding) UnmarshalJSON(data []byte) error {
+	var v embeddingJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.Dim <= 0 || len(v.Components) != v.Dim {
+		return fmt.Errorf("blueprint: serialized embedding dim %d with %d components", v.Dim, len(v.Components))
+	}
+	for i, row := range v.Components {
+		if len(row) != hwspec.FeatureDim {
+			return fmt.Errorf("blueprint: component %d has %d features, want %d", i, len(row), hwspec.FeatureDim)
+		}
+	}
+	if len(v.Means) != hwspec.FeatureDim || len(v.Stds) != hwspec.FeatureDim {
+		return fmt.Errorf("blueprint: serialized standardization has wrong width")
+	}
+	e.Dim = v.Dim
+	e.components = mat.NewFromRows(v.Components)
+	e.means = v.Means
+	e.stds = v.Stds
+	e.eigenvalues = v.Eigenvalues
+	return nil
+}

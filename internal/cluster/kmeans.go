@@ -1,0 +1,149 @@
+// Package cluster implements k-means clustering with k-means++ seeding.
+// Chameleon's "adaptive sampling" module clusters candidate configurations
+// and measures only the cluster centroids; this package is that substrate.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/neuralcompile/glimpse/internal/mat"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// Result holds a k-means clustering.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int // Assignment[i] is the centroid index for point i
+	Inertia    float64
+	Iterations int
+}
+
+// KMeans clusters points into k groups using k-means++ initialization and
+// Lloyd iterations until convergence or maxIter. When k >= len(points) each
+// point becomes its own centroid.
+func KMeans(points [][]float64, k, maxIter int, g *rng.RNG) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("cluster: ragged point %d (%d != %d)", i, len(p), d)
+		}
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k = %d", k)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if k >= n {
+		res := &Result{Assignment: make([]int, n)}
+		for i, p := range points {
+			res.Centroids = append(res.Centroids, append([]float64(nil), p...))
+			res.Assignment[i] = i
+		}
+		return res, nil
+	}
+
+	centroids := seedPlusPlus(points, k, g)
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				if dist := mat.Dist2(p, ctr); dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			mat.AxpyInto(sums[c], 1, p)
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its centroid.
+				centroids[c] = append([]float64(nil), points[farthestPoint(points, centroids, assign)]...)
+				continue
+			}
+			centroids[c] = mat.ScaleVec(1/float64(counts[c]), sums[c])
+		}
+		if !changed && iter > 0 {
+			return finish(points, centroids, assign, iter+1), nil
+		}
+	}
+	return finish(points, centroids, assign, maxIter), nil
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ (D² weighting).
+func seedPlusPlus(points [][]float64, k int, g *rng.RNG) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := g.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if dist := mat.Dist2(p, c); dist < best {
+					best = dist
+				}
+			}
+			d2[i] = best
+		}
+		next := g.Categorical(d2)
+		centroids = append(centroids, append([]float64(nil), points[next]...))
+	}
+	return centroids
+}
+
+func farthestPoint(points, centroids [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		if d := mat.Dist2(p, centroids[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func finish(points, centroids [][]float64, assign []int, iters int) *Result {
+	inertia := 0.0
+	for i, p := range points {
+		inertia += mat.Dist2(p, centroids[assign[i]])
+	}
+	return &Result{Centroids: centroids, Assignment: assign, Inertia: inertia, Iterations: iters}
+}
+
+// NearestIndex returns, for each centroid, the index of the input point
+// closest to it — Chameleon measures these representative points rather
+// than synthetic centroids that may not be valid configurations.
+func (r *Result) NearestIndex(points [][]float64) []int {
+	out := make([]int, len(r.Centroids))
+	for c, ctr := range r.Centroids {
+		best, bestD := -1, math.Inf(1)
+		for i, p := range points {
+			if d := mat.Dist2(p, ctr); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		out[c] = best
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/mat"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// threeBlobs generates well-separated clusters around the given centers.
+func threeBlobs(g *rng.RNG, perCluster int) ([][]float64, [][]float64) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	var pts [][]float64
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			pts = append(pts, []float64{c[0] + g.NormFloat64()*0.5, c[1] + g.NormFloat64()*0.5})
+		}
+	}
+	return pts, centers
+}
+
+func TestKMeansRecoverBlobs(t *testing.T) {
+	g := rng.New(1)
+	pts, centers := threeBlobs(g, 40)
+	res, err := KMeans(pts, 3, 100, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true center should have a found centroid within 1.0.
+	for _, c := range centers {
+		found := false
+		for _, ctr := range res.Centroids {
+			if mat.Dist2(c, ctr) < 1.0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no centroid near %v; got %v", c, res.Centroids)
+		}
+	}
+	// Points within a blob share assignments.
+	for blob := 0; blob < 3; blob++ {
+		first := res.Assignment[blob*40]
+		for i := 1; i < 40; i++ {
+			if res.Assignment[blob*40+i] != first {
+				t.Fatalf("blob %d split across clusters", blob)
+			}
+		}
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	g := rng.New(2)
+	pts, _ := threeBlobs(g, 30)
+	r1, err := KMeans(pts, 1, 50, g.Split("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := KMeans(pts, 3, 50, g.Split("k3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Inertia >= r1.Inertia {
+		t.Fatalf("inertia k=3 (%g) !< k=1 (%g)", r3.Inertia, r1.Inertia)
+	}
+}
+
+func TestKMeansKGreaterThanN(t *testing.T) {
+	g := rng.New(3)
+	pts := [][]float64{{1, 1}, {2, 2}}
+	res, err := KMeans(pts, 5, 10, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids = %d want 2", len(res.Centroids))
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia = %g want 0", res.Inertia)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	g := rng.New(4)
+	if _, err := KMeans(nil, 2, 10, g); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 10, g); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, 10, g); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	gA, gB := rng.New(5), rng.New(5)
+	pts, _ := threeBlobs(rng.New(6), 20)
+	a, err := KMeans(pts, 3, 50, gA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 3, 50, gB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatalf("nondeterministic inertia: %g vs %g", a.Inertia, b.Inertia)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	g := rng.New(7)
+	pts, _ := threeBlobs(g, 25)
+	res, err := KMeans(pts, 3, 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := res.NearestIndex(pts)
+	if len(idx) != 3 {
+		t.Fatalf("NearestIndex len = %d", len(idx))
+	}
+	for c, i := range idx {
+		if i < 0 || i >= len(pts) {
+			t.Fatalf("centroid %d maps to invalid point %d", c, i)
+		}
+		// The nearest point must belong to that centroid's cluster.
+		if res.Assignment[i] != c {
+			t.Fatalf("nearest point of centroid %d assigned to %d", c, res.Assignment[i])
+		}
+	}
+}
+
+func TestSingleCluster(t *testing.T) {
+	g := rng.New(8)
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	res, err := KMeans(pts, 1, 20, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := res.Centroids[0]
+	if ctr[0] != 0.5 || ctr[1] != 0.5 {
+		t.Fatalf("centroid = %v want [0.5 0.5]", ctr)
+	}
+}

@@ -1,0 +1,209 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func lowerRandom(t *testing.T, model string, l int, seed int64) (*Kernel, workload.Task, *space.Space, space.Config) {
+	t.Helper()
+	task, err := workload.TaskByIndex(model, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(seed)
+	cfg := sp.FromIndex(sp.RandomIndex(g))
+	k, err := Lower(task, sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, task, sp, cfg
+}
+
+// TestLowerAgreesWithDerive is the consistency contract: the kernel IR's
+// resource accounting must match space.Derive for every template, across
+// many random configurations.
+func TestLowerAgreesWithDerive(t *testing.T) {
+	refs := []struct {
+		model string
+		l     int
+	}{
+		{workload.ResNet18, 7},  // conv2d
+		{workload.ResNet18, 13}, // winograd
+		{workload.ResNet18, 17}, // dense
+		{workload.AlexNet, 1},
+		{workload.VGG16, 17},
+	}
+	for _, ref := range refs {
+		task, err := workload.TaskByIndex(ref.model, ref.l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := space.MustForTask(task)
+		g := rng.New(int64(ref.l) * 31)
+		for i := 0; i < 100; i++ {
+			cfg := sp.FromIndex(sp.RandomIndex(g))
+			k, err := Lower(task, sp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := space.Derive(task, sp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k.BlockDim() != res.ThreadsPerBlock {
+				t.Fatalf("%s: IR threads %d != derive %d (%s)",
+					task.Name(), k.BlockDim(), res.ThreadsPerBlock, sp.Describe(cfg))
+			}
+			if k.VThreads() != res.VThreads {
+				t.Fatalf("%s: IR vthreads %d != derive %d", task.Name(), k.VThreads(), res.VThreads)
+			}
+			if k.SharedMemBytes() != res.SharedMemBytes {
+				t.Fatalf("%s: IR smem %d != derive %d (%s)",
+					task.Name(), k.SharedMemBytes(), res.SharedMemBytes, sp.Describe(cfg))
+			}
+			if k.AccumVars != res.OutputsPerThread {
+				t.Fatalf("%s: IR accum %d != derive %d", task.Name(), k.AccumVars, res.OutputsPerThread)
+			}
+			wantGrid := res.Blocks
+			if sp.Template == "winograd_conv2d" {
+				wantGrid *= 16 // transformed-domain positions ride the grid
+			}
+			if k.GridDim() != wantGrid {
+				t.Fatalf("%s: IR grid %d != derive %d", task.Name(), k.GridDim(), wantGrid)
+			}
+		}
+	}
+}
+
+// TestVerifyAgreesWithSimulator: a kernel the static verifier passes must
+// be accepted by the simulated device, and vice versa (thread/smem/vthread
+// rules; the register rule is an estimate on both sides and matches by
+// construction).
+func TestVerifyAgreesWithSimulator(t *testing.T) {
+	spec := hwspec.MustByName(hwspec.TitanXp)
+	dev := gpusim.NewDevice(spec)
+	for _, l := range []int{7, 13, 17} { // conv2d, winograd, dense
+		task, err := workload.TaskByIndex(workload.ResNet18, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := space.MustForTask(task)
+		g := rng.New(int64(9 + l))
+		for i := 0; i < 300; i++ {
+			cfg := sp.FromIndex(sp.RandomIndex(g))
+			k, err := Lower(task, sp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := space.Derive(task, sp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simOK, _ := dev.CheckValid(res)
+			verifyOK := len(Verify(k, spec)) == 0
+			if simOK != verifyOK {
+				t.Fatalf("%s: verifier %v but simulator %v for %s", task.Name(), verifyOK, simOK, sp.Describe(cfg))
+			}
+		}
+	}
+}
+
+func TestVerifyReportsEachRule(t *testing.T) {
+	spec := hwspec.MustByName(hwspec.TitanXp)
+	k := &Kernel{
+		Loops: []Loop{
+			{"t", 2048, ThreadX},
+			{"v", 128, VThread},
+		},
+		Shared:    []Buffer{{"s", 1 << 20}},
+		AccumVars: 4,
+	}
+	errs := Verify(k, spec)
+	rules := map[string]bool{}
+	for _, e := range errs {
+		rules[e.Rule] = true
+		if e.Error() == "" {
+			t.Fatal("empty error text")
+		}
+	}
+	for _, want := range []string{"threads_per_block", "shared_memory", "vthreads"} {
+		if !rules[want] {
+			t.Fatalf("rule %q not reported: %v", want, errs)
+		}
+	}
+}
+
+func TestRenderContainsScheduleMarkers(t *testing.T) {
+	k, task, sp, cfg := lowerRandom(t, workload.ResNet18, 7, 1)
+	src := k.Render()
+	for _, frag := range []string{
+		"__global__ void kernel_resnet_18_L7_conv2d",
+		"__shared__ float in_smem",
+		"__shared__ float w_smem",
+		"__syncthreads()",
+		"blockIdx.x", "threadIdx.x",
+		"float acc[",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, src)
+		}
+	}
+	_ = task
+	_ = sp
+	_ = cfg
+}
+
+func TestRenderUnrollPragmas(t *testing.T) {
+	task, err := workload.TaskByIndex(workload.AlexNet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	cfg := make(space.Config, sp.NumKnobs())
+	_, ui, err := sp.KnobByName(space.KnobUnroll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ei, err := sp.KnobByName(space.KnobUnrollE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg[ui] = 2 // 1500
+	cfg[ei] = 1 // explicit
+	k, err := Lower(task, sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := k.Render()
+	if !strings.Contains(src, "#pragma auto_unroll_max_step 1500") {
+		t.Fatalf("missing unroll pragma:\n%s", src)
+	}
+	if !strings.Contains(src, "#pragma unroll") {
+		t.Fatalf("missing explicit unroll:\n%s", src)
+	}
+}
+
+func TestRenderWinogradAndDense(t *testing.T) {
+	kw, _, _, _ := lowerRandom(t, workload.ResNet18, 13, 2)
+	if !strings.Contains(kw.Render(), "BtdB-transformed") {
+		t.Fatal("winograd kernel missing transform stage")
+	}
+	kd, _, _, _ := lowerRandom(t, workload.ResNet18, 17, 3)
+	if !strings.Contains(kd.Render(), "in_smem[k_i]") {
+		t.Fatalf("dense kernel body wrong:\n%s", kd.Render())
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("resnet-18.L7.conv2d"); got != "kernel_resnet_18_L7_conv2d" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

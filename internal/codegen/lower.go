@@ -1,0 +1,194 @@
+package codegen
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Lower turns one configuration of a task into a kernel IR. The loop
+// structure follows the TVM CUDA schedule templates that internal/space
+// models: 4-way output splits bound to block/vthread/thread/serial, 2-way
+// reduction splits with a shared-memory staging stage at the outer
+// reduction level, and the unrolling knobs as pragmas.
+func Lower(task workload.Task, sp *space.Space, cfg space.Config) (*Kernel, error) {
+	res, err := space.Derive(task, sp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	get := func(name string) ([]int, error) {
+		k, i, err := sp.KnobByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return k.SplitValue(cfg[i]), nil
+	}
+
+	kern := &Kernel{
+		Name:          sanitize(task.Name()),
+		AccumVars:     res.OutputsPerThread,
+		RegsPerThread: res.RegsPerThread,
+		UnrollMax:     res.UnrollStep,
+	}
+	serial := Serial
+	if res.UnrollExplicit {
+		serial = Unrolled
+	}
+
+	switch sp.Template {
+	case "conv2d":
+		tf, err := get(space.KnobTileF)
+		if err != nil {
+			return nil, err
+		}
+		ty, err := get(space.KnobTileY)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := get(space.KnobTileX)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := get(space.KnobTileRC)
+		if err != nil {
+			return nil, err
+		}
+		ry, err := get(space.KnobTileRY)
+		if err != nil {
+			return nil, err
+		}
+		rx, err := get(space.KnobTileRX)
+		if err != nil {
+			return nil, err
+		}
+		kern.Loops = []Loop{
+			{"f_block", tf[0], BlockZ},
+			{"y_block", ty[0], BlockY},
+			{"x_block", tx[0], BlockX},
+			{"f_vt", tf[1], VThread},
+			{"y_vt", ty[1], VThread},
+			{"x_vt", tx[1], VThread},
+			{"f_thr", tf[2], ThreadZ},
+			{"y_thr", ty[2], ThreadY},
+			{"x_thr", tx[2], ThreadX},
+			{"rc_o", rc[0], Serial},
+			{"ry_o", ry[0], Serial},
+			{"rx_o", rx[0], Serial},
+			{"rc_i", rc[1], serial},
+			{"ry_i", ry[1], serial},
+			{"rx_i", rx[1], serial},
+			{"f_in", tf[3], serial},
+			{"y_in", ty[3], serial},
+			{"x_in", tx[3], serial},
+		}
+		c := task.Conv
+		inTile := ((blockExtent(ty)-1)*c.Stride + c.Kernel) *
+			((blockExtent(tx)-1)*c.Stride + c.Kernel) * rc[1]
+		filtTile := blockExtent(tf) * rc[1] * ry[1] * rx[1]
+		kern.Shared = []Buffer{
+			{"in_smem", inTile},
+			{"w_smem", filtTile},
+		}
+		kern.Stages = []Stage{{
+			AfterLoop: "rc_o",
+			Fills: []string{
+				"cooperative_fetch(in_smem, in)",
+				"cooperative_fetch(w_smem, w)",
+			},
+		}}
+		kern.Body = "acc[acc_idx(f_vt,y_vt,x_vt,f_in,y_in,x_in)] += in_smem[in_idx(y_in,x_in,rc_i,ry_i,rx_i)] * w_smem[w_idx(f_in,rc_i,ry_i,rx_i)]"
+
+	case "winograd_conv2d":
+		tp, err := get(space.KnobTileP)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := get(space.KnobTileCO)
+		if err != nil {
+			return nil, err
+		}
+		ci, err := get(space.KnobTileCI)
+		if err != nil {
+			return nil, err
+		}
+		kern.Loops = []Loop{
+			{"eps_nu", 16, BlockZ}, // 4×4 transformed-domain positions
+			{"co_block", tc[0], BlockY},
+			{"p_block", tp[0], BlockX},
+			{"co_vt", tc[1], VThread},
+			{"p_vt", tp[1], VThread},
+			{"co_thr", tc[2], ThreadY},
+			{"p_thr", tp[2], ThreadX},
+			{"ci_o", ci[0], Serial},
+			{"ci_i", ci[1], serial},
+			{"co_in", tc[3], serial},
+			{"p_in", tp[3], serial},
+		}
+		kern.Shared = []Buffer{
+			{"data_smem", blockExtent(tp) * ci[1]},
+			{"kernel_smem", blockExtent(tc) * ci[1]},
+		}
+		kern.Stages = []Stage{{
+			AfterLoop: "ci_o",
+			Fills: []string{
+				"cooperative_fetch(data_smem, in /* BtdB-transformed */)",
+				"cooperative_fetch(kernel_smem, w /* GgGt-transformed */)",
+			},
+		}}
+		kern.Body = "acc[acc_idx(co_vt,p_vt,co_in,p_in)] += data_smem[d_idx(p_in,ci_i)] * kernel_smem[k_idx(co_in,ci_i)]"
+
+	case "dense":
+		ty, err := get(space.KnobTileY)
+		if err != nil {
+			return nil, err
+		}
+		tk, err := get(space.KnobTileK)
+		if err != nil {
+			return nil, err
+		}
+		kern.Loops = []Loop{
+			{"y_block", ty[0], BlockX},
+			{"y_thr", ty[1], ThreadX},
+			{"k_o", tk[0], Serial},
+			{"k_i", tk[1], serial},
+			{"y_in", ty[2], serial},
+		}
+		kern.Shared = []Buffer{
+			{"in_smem", tk[1] * (1 + res.ThreadsPerBlock/8)},
+		}
+		kern.Stages = []Stage{{
+			AfterLoop: "k_o",
+			Fills:     []string{"cooperative_fetch(in_smem, in)"},
+		}}
+		kern.Body = "acc[y_in] += in_smem[k_i] * w[w_idx(y_block,y_thr,y_in,k_o,k_i)]"
+
+	default:
+		return nil, fmt.Errorf("codegen: unknown template %q", sp.Template)
+	}
+	return kern, nil
+}
+
+// blockExtent is the per-block output extent of a 4-way split: everything
+// but the grid factor.
+func blockExtent(split []int) int {
+	e := 1
+	for _, f := range split[1:] {
+		e *= f
+	}
+	return e
+}
+
+// sanitize makes a task name a legal C identifier.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return "kernel_" + string(out)
+}

@@ -1,0 +1,64 @@
+package codegen
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+)
+
+// VerifyError describes one launch-validity violation found statically.
+type VerifyError struct {
+	Rule   string
+	Detail string
+}
+
+// Error implements error.
+func (e VerifyError) Error() string { return fmt.Sprintf("codegen: %s: %s", e.Rule, e.Detail) }
+
+// Verify statically checks a lowered kernel against a device's launch
+// limits, mirroring the rules the simulator enforces at "run time"
+// (gpusim.CheckValid) and TVM's VerifyGPUCode pass. It returns every
+// violated rule.
+func Verify(k *Kernel, spec hwspec.Spec) []VerifyError {
+	var errs []VerifyError
+	if threads := k.BlockDim(); threads > spec.MaxThreadsPerBlock {
+		errs = append(errs, VerifyError{
+			Rule:   "threads_per_block",
+			Detail: fmt.Sprintf("%d > %d", threads, spec.MaxThreadsPerBlock),
+		})
+	}
+	if smem := k.SharedMemBytes(); smem > spec.MaxSmemPerBlockKB*1024 {
+		errs = append(errs, VerifyError{
+			Rule:   "shared_memory",
+			Detail: fmt.Sprintf("%d B > %d KB", smem, spec.MaxSmemPerBlockKB),
+		})
+	}
+	if vt := k.VThreads(); vt > 64 {
+		errs = append(errs, VerifyError{
+			Rule:   "vthreads",
+			Detail: fmt.Sprintf("%d > 64", vt),
+		})
+	}
+	if grid := k.GridDim(); grid > (1<<31)-1 {
+		errs = append(errs, VerifyError{
+			Rule:   "grid_dim",
+			Detail: fmt.Sprintf("%d blocks", grid),
+		})
+	}
+	// Register-file exhaustion: the scheduling-time estimate, capped per
+	// thread by the architecture (the compiler spills past 255).
+	regsPerThread := k.RegsPerThread
+	if regsPerThread == 0 {
+		regsPerThread = 16 + (5*k.AccumVars)/4 // hand-built kernels
+	}
+	if regsPerThread > 255 {
+		regsPerThread = 255
+	}
+	if regsPerThread*k.BlockDim() > spec.RegsPerSM {
+		errs = append(errs, VerifyError{
+			Rule:   "register_file",
+			Detail: fmt.Sprintf("%d × %d > %d", regsPerThread, k.BlockDim(), spec.RegsPerSM),
+		})
+	}
+	return errs
+}

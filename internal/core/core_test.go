@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/prior"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// testToolkit trains a small-but-real toolkit once and shares it across
+// tests (training is the expensive part).
+var (
+	tkOnce   sync.Once
+	tkShared *Toolkit
+	tkErr    error
+)
+
+func smallToolkit(t *testing.T) *Toolkit {
+	t.Helper()
+	tkOnce.Do(func() {
+		var tasks []workload.Task
+		for _, ref := range []struct {
+			model string
+			l     int
+		}{
+			{workload.ResNet18, 4}, {workload.ResNet18, 5}, {workload.ResNet18, 7},
+			{workload.ResNet18, 8}, {workload.ResNet18, 10}, {workload.ResNet18, 13},
+			{workload.ResNet18, 15}, {workload.ResNet18, 17},
+			{workload.AlexNet, 2}, {workload.AlexNet, 3}, {workload.AlexNet, 8},
+			{workload.AlexNet, 11}, {workload.VGG16, 8}, {workload.VGG16, 17},
+		} {
+			task, err := workload.TaskByIndex(ref.model, ref.l)
+			if err != nil {
+				tkErr = err
+				return
+			}
+			tasks = append(tasks, task)
+		}
+		tkShared, tkErr = TrainToolkit(hwspec.TitanXp, ToolkitConfig{
+			TrainGPUs: []string{"gtx-1080", "gtx-1080-ti", "rtx-2070", "rtx-2080",
+				"rtx-2080-ti", "titan-rtx", "rtx-3070", "rtx-3080"},
+			PriorTasks: tasks,
+			Prior: prior.TrainConfig{
+				Dataset: prior.DatasetConfig{SamplesPerTask: 150, TopK: 16},
+				Epochs:  200,
+			},
+			MetaGPUs: 2,
+		}, rng.New(1234))
+	})
+	if tkErr != nil {
+		t.Fatal(tkErr)
+	}
+	return tkShared
+}
+
+func TestTrainToolkitValidation(t *testing.T) {
+	if _, err := TrainToolkit("gpu-x", ToolkitConfig{}, rng.New(1)); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := TrainToolkit(hwspec.TitanXp, ToolkitConfig{
+		TrainGPUs: []string{hwspec.TitanXp},
+	}, rng.New(1)); err == nil {
+		t.Fatal("target inside training pool accepted")
+	}
+}
+
+func TestGlimpseRequiresArtifacts(t *testing.T) {
+	gl := &Glimpse{}
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	m := measure.MustNewLocal(hwspec.TitanXp)
+	if _, err := gl.Tune(task, sp, m, tuner.Budget{MaxMeasurements: 8}, rng.New(2)); err == nil {
+		t.Fatal("artifact-less Glimpse accepted")
+	}
+}
+
+// TestGlimpseEndToEnd is the paper's headline: on the (training-excluded)
+// target GPU, Glimpse reaches a better configuration than AutoTVM at equal
+// measurement budget, with far fewer invalid measurements.
+func TestGlimpseEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs full tuning sessions")
+	}
+	tk := smallToolkit(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	m := measure.MustNewLocal(hwspec.TitanXp)
+	budget := tuner.Budget{MaxMeasurements: 128}
+
+	gl := tk.Tuner()
+	glRes, err := gl.Tune(task, sp, m, budget, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atvmRes, err := tuner.AutoTVM{}.Tune(task, sp, m, budget, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if glRes.BestGFLOPS < atvmRes.BestGFLOPS*0.95 {
+		t.Fatalf("glimpse %g clearly worse than autotvm %g", glRes.BestGFLOPS, atvmRes.BestGFLOPS)
+	}
+	if glRes.Invalid >= atvmRes.Invalid {
+		t.Fatalf("glimpse invalid %d not below autotvm %d", glRes.Invalid, atvmRes.Invalid)
+	}
+	if glRes.TunerName != "glimpse" {
+		t.Fatalf("name %q", glRes.TunerName)
+	}
+	if len(glRes.InitialBatch) == 0 {
+		t.Fatal("no initial batch recorded")
+	}
+}
+
+// TestGlimpseInitialBatchQuality pins §3.1: the prior-seeded first batch
+// is far better than a random first batch on the unseen target.
+func TestGlimpseInitialBatchQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tk := smallToolkit(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	m := measure.MustNewLocal(hwspec.TitanXp)
+	budget := tuner.Budget{MaxMeasurements: 16}
+
+	glRes, err := tk.Tuner().Tune(task, sp, m, budget, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	randRes, err := tuner.Random{}.Tune(task, sp, m, budget, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glRes.BestGFLOPS <= randRes.BestGFLOPS {
+		t.Fatalf("prior-seeded first batch %g ≤ random %g", glRes.BestGFLOPS, randRes.BestGFLOPS)
+	}
+}
+
+func TestGlimpseAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tk := smallToolkit(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	m := measure.MustNewLocal(hwspec.TitanXp)
+	budget := tuner.Budget{MaxMeasurements: 48}
+
+	for _, variant := range []*Glimpse{
+		func() *Glimpse { g := tk.Tuner(); g.DisablePrior = true; return g }(),
+		func() *Glimpse { g := tk.Tuner(); g.DisableAcq = true; return g }(),
+		func() *Glimpse { g := tk.Tuner(); g.DisableSampler = true; return g }(),
+	} {
+		res, err := variant.Tune(task, sp, m, budget, rng.New(51))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Measurements == 0 {
+			t.Fatal("ablated variant did nothing")
+		}
+	}
+}
+
+func TestToolkitWorksOnWinogradAndDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tk := smallToolkit(t)
+	m := measure.MustNewLocal(hwspec.TitanXp)
+	for _, l := range []int{13, 17} {
+		task, err := workload.TaskByIndex(workload.ResNet18, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := space.MustForTask(task)
+		res, err := tk.Tuner().Tune(task, sp, m, tuner.Budget{MaxMeasurements: 48}, rng.New(61))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestGFLOPS <= 0 {
+			t.Fatalf("%s: nothing found", task.Name())
+		}
+	}
+}

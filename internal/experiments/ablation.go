@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// AblationRow is one Glimpse variant's outcome on the ablation workload.
+type AblationRow struct {
+	Variant    string
+	BestGFLOPS float64 // geomean over tasks
+	InvalidPct float64 // invalid measurements, percent
+	GPUSeconds float64
+}
+
+// AblationResult isolates each Glimpse component (§3.1–§3.3): the full
+// system against variants with the Blueprint prior, the neural
+// acquisition, or the ensemble sampler disabled.
+type AblationResult struct {
+	Target string
+	Budget int
+	Rows   []AblationRow
+}
+
+// Ablation runs the component study on the first configured target.
+func (e *Env) Ablation() (*AblationResult, error) {
+	target := e.cfg.Targets[0]
+	tk, err := e.Toolkit(target)
+	if err != nil {
+		return nil, err
+	}
+	m, err := measure.NewLocal(target)
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := e.GridTasks(e.cfg.Models[0])
+	if err != nil {
+		return nil, err
+	}
+	// The components' value is sample efficiency, so the ablation runs at
+	// a quarter of the grid budget: differences at convergence wash out.
+	measurements := e.cfg.MaxMeasurements / 4
+	if measurements < 32 {
+		measurements = 32
+	}
+	budget := tuner.Budget{MaxMeasurements: measurements}
+
+	variants := []struct {
+		name  string
+		build func() *core.Glimpse
+	}{
+		{"glimpse (full)", func() *core.Glimpse { return tk.Tuner() }},
+		{"w/o blueprint prior", func() *core.Glimpse {
+			g := tk.Tuner()
+			g.DisablePrior = true
+			return g
+		}},
+		{"w/o neural acquisition (EI)", func() *core.Glimpse {
+			g := tk.Tuner()
+			g.DisableAcq = true
+			return g
+		}},
+		{"w/o ensemble sampling", func() *core.Glimpse {
+			g := tk.Tuner()
+			g.DisableSampler = true
+			return g
+		}},
+	}
+
+	out := &AblationResult{Target: target, Budget: measurements}
+	for _, v := range variants {
+		var bests []float64
+		measured, invalid := 0, 0
+		gpuSec := 0.0
+		for _, task := range tasks {
+			sp, err := space.ForTask(task)
+			if err != nil {
+				return nil, err
+			}
+			res, err := v.build().Tune(task, sp, m, budget,
+				e.rngFor(fmt.Sprintf("ablation/%s/%s", v.name, task.Name())))
+			if err != nil {
+				return nil, err
+			}
+			best := res.BestGFLOPS
+			if best <= 0 {
+				best = 1e-3
+			}
+			bests = append(bests, best)
+			measured += res.Measurements
+			invalid += res.Invalid
+			gpuSec += res.GPUSeconds
+		}
+		row := AblationRow{
+			Variant:    v.name,
+			BestGFLOPS: metrics.Geomean(bests),
+			GPUSeconds: gpuSec,
+		}
+		if measured > 0 {
+			row.InvalidPct = 100 * float64(invalid) / float64(measured)
+		}
+		out.Rows = append(out.Rows, row)
+		e.logf("ablation: %-28s best=%7.0f invalid=%.1f%%", v.name, row.BestGFLOPS, row.InvalidPct)
+	}
+	return out, nil
+}
+
+// Render formats the ablation report.
+func (r *AblationResult) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Component ablation on %s (%d measurements/task)", r.Target, r.Budget),
+		"variant", "best GFLOPS (geomean)", "invalid %", "GPU s")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Variant, fmt.Sprintf("%.0f", row.BestGFLOPS),
+			fmt.Sprintf("%.1f%%", row.InvalidPct), fmt.Sprintf("%.0f", row.GPUSeconds))
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("expected: disabling the prior hurts early quality; disabling the sampler inflates invalid %\n")
+	return sb.String()
+}
+
+// TaskListForModel exposes the grid task selection (used by the CLI when
+// printing what an experiment will run).
+func (e *Env) TaskListForModel(model string) ([]workload.Task, error) {
+	return e.GridTasks(model)
+}

@@ -1,0 +1,329 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated-GPU substrate: Fig. 1 (cross-hardware
+// reuse), Fig. 4 (initial configurations), Fig. 5 (transfer learning),
+// Fig. 6 (search steps), Fig. 7 (invalid configurations), Fig. 8
+// (Blueprint DSE), Fig. 9a/9b (end-to-end optimization time and inference
+// speed), Table 1 (task inventory), and Table 2 (Hyper-Volume).
+//
+// Each experiment returns a typed result with a Render method; cmd/
+// experiments prints them, and bench_test.go at the repository root wires
+// one benchmark per experiment.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/prior"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Config scales the experiment harness. The zero value (plus a seed) gives
+// a laptop-scale run that preserves the paper's shapes; raising the knobs
+// approaches the paper's full budgets.
+type Config struct {
+	Seed    int64
+	Targets []string // default: the four Table 1 GPUs
+	Models  []string // default: alexnet, resnet-18, vgg-16
+	// TasksPerModel selects an evenly spaced task subset per model for the
+	// grid experiments (0 = every task; default 4).
+	TasksPerModel int
+	// MaxMeasurements caps hardware measurements per tuning run (default 192).
+	MaxMeasurements int
+	// BatchSize is measurements per tuner step (default 16).
+	BatchSize int
+	// Patience/Epsilon define convergence (default 4 batches / 1%).
+	Patience int
+	Epsilon  float64
+	// TransferSamples per source GPU for the TL/DGP corpora (default 120).
+	TransferSamples int
+	// TransferGPUs is how many leave-target-out sources feed transfer
+	// corpora (default 2).
+	TransferGPUs int
+	// Toolkit overrides Glimpse's offline training configuration.
+	Toolkit core.ToolkitConfig
+	// Progress, when set, receives one line per completed tuning run.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Targets) == 0 {
+		c.Targets = append([]string(nil), hwspec.Targets...)
+	}
+	if len(c.Models) == 0 {
+		c.Models = append([]string(nil), workload.Models...)
+	}
+	if c.TasksPerModel == 0 {
+		c.TasksPerModel = 4
+	}
+	if c.MaxMeasurements <= 0 {
+		c.MaxMeasurements = 192
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Patience <= 0 {
+		c.Patience = 4
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.01
+	}
+	if c.TransferSamples <= 0 {
+		c.TransferSamples = 120
+	}
+	if c.TransferGPUs <= 0 {
+		c.TransferGPUs = 2
+	}
+	return c
+}
+
+// Env caches the expensive shared artifacts (toolkits, transfer corpora)
+// across experiments.
+type Env struct {
+	cfg Config
+
+	mu        sync.Mutex
+	toolkits  map[string]*core.Toolkit
+	transfers map[string]*tuner.TransferData
+}
+
+// NewEnv builds an experiment environment.
+func NewEnv(cfg Config) *Env {
+	return &Env{
+		cfg:       cfg.withDefaults(),
+		toolkits:  map[string]*core.Toolkit{},
+		transfers: map[string]*tuner.TransferData{},
+	}
+}
+
+// Cfg returns the resolved configuration.
+func (e *Env) Cfg() Config { return e.cfg }
+
+func (e *Env) logf(format string, args ...interface{}) {
+	if e.cfg.Progress != nil {
+		fmt.Fprintf(e.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// rngFor derives a deterministic stream for a labelled sub-experiment.
+func (e *Env) rngFor(label string) *rng.RNG {
+	return rng.New(e.cfg.Seed).Split(label)
+}
+
+// Toolkit returns (training on first use) Glimpse's offline artifacts for
+// a target GPU.
+func (e *Env) Toolkit(target string) (*core.Toolkit, error) {
+	e.mu.Lock()
+	tk, ok := e.toolkits[target]
+	e.mu.Unlock()
+	if ok {
+		return tk, nil
+	}
+	e.logf("training Glimpse toolkit for %s (blueprint + prior + meta-acq)...", target)
+	cfg := e.cfg.Toolkit
+	if cfg.Prior.Dataset.SamplesPerTask == 0 {
+		cfg.Prior = prior.TrainConfig{
+			Dataset: prior.DatasetConfig{SamplesPerTask: 150, TopK: 16},
+			Epochs:  250,
+		}
+	}
+	tk, err := core.TrainToolkit(target, cfg, e.rngFor("toolkit/"+target))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.toolkits[target] = tk
+	e.mu.Unlock()
+	return tk, nil
+}
+
+// GridTasks returns the task subset a model contributes to the grid
+// experiments: evenly spaced over the task list so conv, winograd, and
+// dense templates are all represented.
+func (e *Env) GridTasks(model string) ([]workload.Task, error) {
+	tasks, err := workload.Tasks(model)
+	if err != nil {
+		return nil, err
+	}
+	n := e.cfg.TasksPerModel
+	if n <= 0 || n >= len(tasks) {
+		return tasks, nil
+	}
+	out := make([]workload.Task, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, tasks[i*len(tasks)/n])
+	}
+	return out, nil
+}
+
+// sourceTasks picks up to n same-template tasks from models other than the
+// target task's network — the paper's leave-the-target-network-out rule.
+func sourceTasks(task workload.Task, n int) []workload.Task {
+	var out []workload.Task
+	for _, model := range workload.Models {
+		if model == task.Model {
+			continue
+		}
+		for _, t := range workload.MustTasks(model) {
+			if t.Kind == task.Kind {
+				out = append(out, t)
+			}
+		}
+	}
+	if len(out) > n {
+		stride := len(out) / n
+		picked := make([]workload.Task, 0, n)
+		for i := 0; i < n; i++ {
+			picked = append(picked, out[i*stride])
+		}
+		out = picked
+	}
+	return out
+}
+
+// transferCorpus measures random configurations of the source tasks on the
+// given GPUs. Same-template tasks share a featurization width, so their
+// logs feed one transferable cost model (exactly AutoTVM's TL setting).
+func (e *Env) transferCorpus(srcTasks []workload.Task, gpus []string, samplesPer int, g *rng.RNG) (*tuner.TransferData, error) {
+	td := &tuner.TransferData{}
+	for _, gpu := range gpus {
+		local, err := measure.NewLocal(gpu)
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range srcTasks {
+			sp, err := space.ForTask(src)
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < samplesPer; j++ {
+				idx := sp.RandomIndex(g)
+				res, err := local.MeasureBatch(src, sp, []int64{idx})
+				if err != nil {
+					return nil, err
+				}
+				v := 0.0
+				if res[0].Valid {
+					v = res[0].GFLOPS
+				}
+				td.Features = append(td.Features, sp.FeaturesAt(idx))
+				td.GFLOPS = append(td.GFLOPS, v)
+			}
+		}
+	}
+	return td, nil
+}
+
+// TransferFor builds (and caches) AutoTVM's transfer-learning corpus for
+// one task: logs of *other networks'* same-template tasks on *other GPUs*
+// — "logs from all but the combination of target network and hardware"
+// (Fig. 5).
+func (e *Env) TransferFor(task workload.Task, target string) (*tuner.TransferData, error) {
+	key := fmt.Sprintf("tl|%v|%s|%s", task.Kind, task.Model, target)
+	e.mu.Lock()
+	td, ok := e.transfers[key]
+	e.mu.Unlock()
+	if ok {
+		return td, nil
+	}
+	pool := hwspec.TrainingPool(target)
+	stride := len(pool) / e.cfg.TransferGPUs
+	if stride < 1 {
+		stride = 1
+	}
+	var gpus []string
+	for i := 0; i < e.cfg.TransferGPUs && i*stride < len(pool); i++ {
+		gpus = append(gpus, pool[i*stride].Name)
+	}
+	srcs := sourceTasks(task, 3)
+	samples := e.cfg.TransferSamples / maxInt(1, len(srcs))
+	td, err := e.transferCorpus(srcs, gpus, maxInt(20, samples), e.rngFor("transfer/"+key))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.transfers[key] = td
+	e.mu.Unlock()
+	return td, nil
+}
+
+// DGPSourceFor builds DGP's pretraining corpus: historical logs of other
+// networks' same-template tasks on the *target* GPU — Sun et al.'s
+// cross-layer, single-GPU transfer setting.
+func (e *Env) DGPSourceFor(task workload.Task, target string) (*tuner.TransferData, error) {
+	key := fmt.Sprintf("dgp|%v|%s|%s", task.Kind, task.Model, target)
+	e.mu.Lock()
+	td, ok := e.transfers[key]
+	e.mu.Unlock()
+	if ok {
+		return td, nil
+	}
+	// DGP's corpus is same-hardware history, so it can afford to be richer
+	// than the cross-hardware TL corpus: full samples per source task.
+	srcs := sourceTasks(task, 3)
+	td, err := e.transferCorpus(srcs, []string{target}, e.cfg.TransferSamples, e.rngFor("transfer/"+key))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.transfers[key] = td
+	e.mu.Unlock()
+	return td, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TunerFor instantiates a tuner by name for one (task, target) pair.
+// Known names: random, autotvm, autotvm-tl, chameleon, dgp, glimpse.
+func (e *Env) TunerFor(name string, task workload.Task, target string) (tuner.Tuner, error) {
+	switch name {
+	case "random":
+		return tuner.Random{BatchSize: e.cfg.BatchSize}, nil
+	case "autotvm":
+		return tuner.AutoTVM{BatchSize: e.cfg.BatchSize}, nil
+	case "autotvm-tl":
+		td, err := e.TransferFor(task, target)
+		if err != nil {
+			return nil, err
+		}
+		return tuner.AutoTVM{BatchSize: e.cfg.BatchSize, Transfer: td}, nil
+	case "chameleon":
+		return tuner.Chameleon{BatchSize: e.cfg.BatchSize}, nil
+	case "dgp":
+		td, err := e.DGPSourceFor(task, target)
+		if err != nil {
+			return nil, err
+		}
+		return tuner.DGP{BatchSize: e.cfg.BatchSize, Source: td}, nil
+	case "glimpse":
+		tk, err := e.Toolkit(target)
+		if err != nil {
+			return nil, err
+		}
+		gl := tk.Tuner()
+		gl.BatchSize = e.cfg.BatchSize
+		return gl, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown tuner %q", name)
+	}
+}
+
+// SortDesc returns a copy of v sorted descending (Fig. 4's presentation).
+func SortDesc(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

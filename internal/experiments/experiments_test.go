@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/prior"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// smallEnv is a reduced-scale environment shared across tests: one target,
+// one model, tiny toolkit training.
+var (
+	envOnce sync.Once
+	envInst *Env
+)
+
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		var priorTasks []workload.Task
+		for _, l := range []int{2, 5, 7, 9, 13, 15, 17} {
+			task, err := workload.TaskByIndex(workload.ResNet18, l)
+			if err != nil {
+				panic(err)
+			}
+			priorTasks = append(priorTasks, task)
+		}
+		envInst = NewEnv(Config{
+			Seed:            99,
+			Targets:         []string{hwspec.TitanXp},
+			Models:          []string{workload.ResNet18},
+			TasksPerModel:   2,
+			MaxMeasurements: 64,
+			BatchSize:       16,
+			TransferSamples: 60,
+			TransferGPUs:    1,
+			Toolkit: core.ToolkitConfig{
+				TrainGPUs: []string{"gtx-1080", "gtx-1080-ti", "rtx-2070", "rtx-2080",
+					"rtx-2080-ti", "rtx-3080"},
+				PriorTasks: priorTasks,
+				Prior: prior.TrainConfig{
+					Dataset: prior.DatasetConfig{SamplesPerTask: 120, TopK: 16},
+					Epochs:  150,
+				},
+				MetaGPUs: 2,
+			},
+		})
+	})
+	return envInst
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Seed: 1}.withDefaults()
+	if len(cfg.Targets) != 4 || len(cfg.Models) != 3 {
+		t.Fatalf("defaults: %v %v", cfg.Targets, cfg.Models)
+	}
+	if cfg.MaxMeasurements != 192 || cfg.BatchSize != 16 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestGridTasksSubset(t *testing.T) {
+	e := smallEnv(t)
+	tasks, err := e.GridTasks(workload.ResNet18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("subset size %d want 2", len(tasks))
+	}
+	// Full list when TasksPerModel exceeds the model.
+	full := NewEnv(Config{Seed: 1, TasksPerModel: 100})
+	tasks, err = full.GridTasks(workload.AlexNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 12 {
+		t.Fatalf("full size %d want 12", len(tasks))
+	}
+}
+
+func TestSourceTasksExcludeTargetModel(t *testing.T) {
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := sourceTasks(task, 3)
+	if len(srcs) == 0 {
+		t.Fatal("no source tasks")
+	}
+	for _, s := range srcs {
+		if s.Model == workload.ResNet18 {
+			t.Fatalf("target network leaked into sources: %s", s.Name())
+		}
+		if s.Kind != task.Kind {
+			t.Fatalf("kind mismatch: %v", s.Kind)
+		}
+	}
+}
+
+func TestTunerForUnknown(t *testing.T) {
+	e := smallEnv(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TunerFor("gradient-descent", task, hwspec.TitanXp); err == nil {
+		t.Fatal("unknown tuner accepted")
+	}
+}
+
+func TestEffortToTarget(t *testing.T) {
+	res := &tuner.Result{
+		Measurements: 48,
+		GPUSeconds:   100,
+		History: []tuner.StepRecord{
+			{Step: 1, Measurements: 16, BestGFLOPS: 50, GPUSeconds: 30},
+			{Step: 2, Measurements: 32, BestGFLOPS: 120, GPUSeconds: 65},
+			{Step: 3, Measurements: 48, BestGFLOPS: 130, GPUSeconds: 100},
+		},
+	}
+	m, s := EffortToTarget(res, 100)
+	if m != 32 || s != 65 {
+		t.Fatalf("effort = %d/%g want 32/65", m, s)
+	}
+	// Unreached target charges full effort.
+	m, s = EffortToTarget(res, 1e9)
+	if m != 48 || s != 100 {
+		t.Fatalf("unreached effort = %d/%g", m, s)
+	}
+}
+
+func TestSortDesc(t *testing.T) {
+	in := []float64{1, 5, 3}
+	out := SortDesc(in)
+	if out[0] != 5 || out[1] != 3 || out[2] != 1 {
+		t.Fatalf("SortDesc = %v", out)
+	}
+	if in[0] != 1 {
+		t.Fatal("SortDesc mutated input")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	e := smallEnv(t)
+	r, err := e.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{workload.AlexNet: 12, workload.ResNet18: 17, workload.VGG16: 21}
+	for _, row := range r.Rows {
+		if row.Total != want[row.Model] {
+			t.Fatalf("%s tasks = %d want %d", row.Model, row.Total, want[row.Model])
+		}
+	}
+	out := r.Render()
+	for _, s := range []string{"alexnet", "sm_86", "12 conv2d"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("render missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	e := smallEnv(t)
+	r, err := e.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KneeLoss >= 0.005 {
+		t.Fatalf("knee loss %g ≥ 0.5%%", r.KneeLoss)
+	}
+	if r.ChosenDim >= hwspec.FeatureDim {
+		t.Fatalf("no compression: dim %d", r.ChosenDim)
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Loss > r.Points[i-1].Loss+1e-9 {
+			t.Fatal("loss not monotone in dim")
+		}
+	}
+	if !strings.Contains(r.Render(), "★ chosen") {
+		t.Fatal("render missing knee marker")
+	}
+}
+
+func TestFig1CrossHardwareSlowdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweeps")
+	}
+	e := smallEnv(t)
+	r, err := e.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's premise: reuse loses meaningful performance both ways.
+	if r.SlowdownAB < 0.02 && r.SlowdownBA < 0.02 {
+		t.Fatalf("cross-hardware reuse nearly free: %+v", r)
+	}
+	if r.SlowdownAB < 0 || r.SlowdownBA < 0 {
+		t.Fatalf("negative slowdown: %+v", r)
+	}
+	if !strings.Contains(r.Render(), "slowdown") {
+		t.Fatal("render malformed")
+	}
+}
+
+// TestGridAndAggregates runs the reduced grid once and checks every
+// aggregate experiment's paper-shape on it.
+func TestGridAndAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	e := smallEnv(t)
+	grid, err := e.RunGrid([]string{"autotvm", "chameleon", "glimpse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f6, err := Fig6(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.Geomean["autotvm"] != 1.0 {
+		t.Fatalf("autotvm relative steps = %g", f6.Geomean["autotvm"])
+	}
+	if f6.Geomean["glimpse"] >= 1.0 {
+		t.Fatalf("glimpse needs %g× AutoTVM's steps; expected < 1", f6.Geomean["glimpse"])
+	}
+
+	f7, err := Fig7(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Geomean["glimpse"] <= 1.5 {
+		t.Fatalf("glimpse invalid reduction = %.2f×; expected > 1.5×", f7.Geomean["glimpse"])
+	}
+	if f7.Geomean["glimpse"] <= f7.Geomean["chameleon"] {
+		t.Fatalf("glimpse (%.2f×) should beat chameleon (%.2f×) on invalid reduction",
+			f7.Geomean["glimpse"], f7.Geomean["chameleon"])
+	}
+
+	f9, err := Fig9(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f9.TimeGeomean["glimpse"] <= 1.0 {
+		t.Fatalf("glimpse optimization-time improvement = %.2f×; expected > 1", f9.TimeGeomean["glimpse"])
+	}
+	if f9.InferenceGeomean["glimpse"] < 0.95 {
+		t.Fatalf("glimpse inference speed = %.3f× AutoTVM; expected ≥ ~1", f9.InferenceGeomean["glimpse"])
+	}
+
+	t2, err := Table2(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Glimpse's HV must top every model's rows.
+	bestHV := map[string]string{}
+	hv := map[string]float64{}
+	for _, row := range t2.Rows {
+		if row.Tuner == "autotvm" {
+			continue
+		}
+		if cur, ok := hv[row.Model]; !ok || row.HyperVolume > cur {
+			hv[row.Model] = row.HyperVolume
+			bestHV[row.Model] = row.Tuner
+		}
+	}
+	for model, winner := range bestHV {
+		if winner != "glimpse" {
+			t.Fatalf("%s HV winner = %s (%.3f)", model, winner, hv[model])
+		}
+	}
+
+	// Renders carry their headers.
+	for _, s := range []string{f6.Render(), f7.Render(), f9.Render(), t2.Render()} {
+		if !strings.Contains(s, "AutoTVM") && !strings.Contains(s, "autotvm") {
+			t.Fatal("render missing baseline")
+		}
+	}
+}
+
+func TestFig4InitialConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning runs")
+	}
+	e := smallEnv(t)
+	r, err := e.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) == 0 {
+		t.Fatal("no panels")
+	}
+	for _, p := range r.Panels {
+		if len(p.Series) != 4 {
+			t.Fatalf("panel has %d series", len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.GFLOPS) != r.N {
+				t.Fatalf("%s series has %d entries want %d", s.Tuner, len(s.GFLOPS), r.N)
+			}
+			for i := 1; i < len(s.GFLOPS); i++ {
+				if s.GFLOPS[i] > s.GFLOPS[i-1] {
+					t.Fatal("series not sorted descending")
+				}
+			}
+		}
+	}
+	// §4.1: Glimpse's initial batch dominates the blind tuners'.
+	for _, adv := range r.GlimpseAdvantage() {
+		if adv < 0.8 {
+			t.Fatalf("glimpse initial-config advantage %.2f×; expected ≈≥1", adv)
+		}
+	}
+}
+
+func TestFig5TransferLearning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning runs")
+	}
+	e := smallEnv(t)
+	r, err := e.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Glimpse must beat plain AutoTVM under the fixed time budget.
+	if r.GeoRelGl <= 1.0 {
+		t.Fatalf("glimpse relative performance %.2f×; expected > 1", r.GeoRelGl)
+	}
+	if !strings.Contains(r.Render(), "geomean") {
+		t.Fatal("render malformed")
+	}
+}
+
+func TestScalingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning runs")
+	}
+	e := smallEnv(t)
+	r, err := e.Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(e.Cfg().Targets) {
+		t.Fatalf("%d points want %d", len(r.Points), len(e.Cfg().Targets))
+	}
+	for i, p := range r.Points {
+		if p.NumGPUs != i+1 {
+			t.Fatalf("point %d numGPUs %d", i, p.NumGPUs)
+		}
+		if p.AutoTVMSeconds <= 0 || p.GlimpseSeconds <= 0 {
+			t.Fatalf("non-positive costs: %+v", p)
+		}
+		if i > 0 && p.AutoTVMSeconds < r.Points[i-1].AutoTVMSeconds {
+			t.Fatal("cumulative cost decreased")
+		}
+	}
+	// The last point should favor Glimpse.
+	last := r.Points[len(r.Points)-1]
+	if last.Speedup <= 1 {
+		t.Fatalf("fleet speedup %.2f not > 1", last.Speedup)
+	}
+	if !strings.Contains(r.Render(), "speedup") {
+		t.Fatal("render malformed")
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Fig1Result reproduces Figure 1: the best configuration found on one GPU
+// is reused on another generation, quantifying the slowdown versus that
+// GPU's own optimum (the paper reports 27.79% and 31.33% for ResNet-18 L7
+// between Titan Xp and RTX 2080 Ti).
+type Fig1Result struct {
+	Task       string
+	GPUA, GPUB string
+	BestA      float64 // GFLOPS of A's optimum on A
+	BestB      float64
+	AonB       float64 // A's optimum measured on B
+	BonA       float64
+	SlowdownAB float64 // fraction lost reusing A's optimum on B
+	SlowdownBA float64
+}
+
+// OracleBest estimates a device's task optimum with a large random sweep
+// followed by measurement-guided hill climbing (the simulator makes true
+// measurements cheap, so this stands in for the paper's exhaustive view).
+func OracleBest(dev *gpusim.Device, task workload.Task, sp *space.Space, samples int, g *rng.RNG) (int64, float64) {
+	top := OracleTopK(dev, task, sp, samples, 1, g)
+	if len(top) == 0 {
+		return -1, 0
+	}
+	return top[0].Index, top[0].GFLOPS
+}
+
+// OracleEntry is one ranked oracle configuration.
+type OracleEntry struct {
+	Index  int64
+	GFLOPS float64
+}
+
+// OracleTopK returns the k best valid configurations found by a random
+// sweep plus hill climbing, best first.
+func OracleTopK(dev *gpusim.Device, task workload.Task, sp *space.Space, samples, k int, g *rng.RNG) []OracleEntry {
+	best := map[int64]float64{}
+	consider := func(idx int64) {
+		if _, seen := best[idx]; seen {
+			return
+		}
+		if r := dev.MeasureIndex(task, sp, idx); r.Valid {
+			best[idx] = r.GFLOPS
+		}
+	}
+	for i := 0; i < samples; i++ {
+		consider(sp.RandomIndex(g))
+	}
+	// Local refinement around the running incumbent.
+	incumbent, incumbentG := int64(-1), 0.0
+	for idx, v := range best {
+		if v > incumbentG {
+			incumbent, incumbentG = idx, v
+		}
+	}
+	if incumbent >= 0 {
+		for i := 0; i < samples/4; i++ {
+			cand := sp.Neighbor(incumbent, g)
+			consider(cand)
+			if v, ok := best[cand]; ok && v > incumbentG {
+				incumbent, incumbentG = cand, v
+			}
+		}
+	}
+	out := make([]OracleEntry, 0, len(best))
+	for idx, v := range best {
+		out = append(out, OracleEntry{idx, v})
+	}
+	sortOracle(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortOracle(v []OracleEntry) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j].GFLOPS > v[j-1].GFLOPS; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Fig1 runs the cross-hardware reuse study on ResNet-18 L7 between the
+// paper's two example GPUs.
+func (e *Env) Fig1() (*Fig1Result, error) {
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := space.ForTask(task)
+	if err != nil {
+		return nil, err
+	}
+	devA := gpusim.NewDevice(hwspec.MustByName(hwspec.TitanXp))
+	devB := gpusim.NewDevice(hwspec.MustByName(hwspec.RTX2080Ti))
+	g := e.rngFor("fig1")
+
+	samples := 20000
+	topA := OracleTopK(devA, task, sp, samples, 32, g.Split("a"))
+	topB := OracleTopK(devB, task, sp, samples, 32, g.Split("b"))
+	if len(topA) == 0 || len(topB) == 0 {
+		return nil, fmt.Errorf("experiments: fig1 oracle found no valid configs")
+	}
+
+	// Reuse follows deployment practice: walk the source GPU's ranked
+	// configurations and ship the first binary that launches on the new
+	// hardware (e.g. a Turing-tuned kernel can exceed Pascal's 48 KB
+	// shared-memory limit).
+	reuse := func(src []OracleEntry, dst *gpusim.Device) float64 {
+		for _, entry := range src {
+			if r := dst.MeasureIndex(task, sp, entry.Index); r.Valid {
+				return r.GFLOPS
+			}
+		}
+		return 0
+	}
+
+	res := &Fig1Result{
+		Task:  task.Name(),
+		GPUA:  devA.Spec.Name,
+		GPUB:  devB.Spec.Name,
+		BestA: topA[0].GFLOPS,
+		BestB: topB[0].GFLOPS,
+	}
+	res.AonB = reuse(topA, devB)
+	res.BonA = reuse(topB, devA)
+	res.SlowdownAB = 1 - res.AonB/res.BestB
+	res.SlowdownBA = 1 - res.BonA/res.BestA
+	return res, nil
+}
+
+// Render formats the Figure 1 report.
+func (r *Fig1Result) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 1 — cross-hardware reuse of the optimal configuration (%s)", r.Task),
+		"direction", "native best (GFLOPS)", "reused (GFLOPS)", "slowdown")
+	t.AddRowf(fmt.Sprintf("%s → %s", r.GPUA, r.GPUB), r.BestB, r.AonB,
+		fmt.Sprintf("%.2f%%", 100*r.SlowdownAB))
+	t.AddRowf(fmt.Sprintf("%s → %s", r.GPUB, r.GPUA), r.BestA, r.BonA,
+		fmt.Sprintf("%.2f%%", 100*r.SlowdownBA))
+	sb.WriteString(t.String())
+	sb.WriteString("paper: 27.79% (Titan Xp → RTX 2080 Ti), 31.33% (RTX 2080 Ti → Titan Xp)\n")
+	return sb.String()
+}

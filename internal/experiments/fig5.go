@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+)
+
+// Fig5Cell is one (GPU, model) bar group of Figure 5: output-code
+// performance relative to plain AutoTVM when every tuner gets the same
+// fixed optimization-time budget per layer.
+type Fig5Cell struct {
+	GPU, Model string
+	AutoTVM    float64 // geomean GFLOPS across the model's grid tasks
+	AutoTVMTL  float64
+	Glimpse    float64
+	RelTL      float64 // AutoTVM-TL / AutoTVM
+	RelGlimpse float64 // Glimpse / AutoTVM
+}
+
+// Fig5Result aggregates all cells.
+type Fig5Result struct {
+	BudgetSec float64
+	Cells     []Fig5Cell
+	GeoRelTL  float64
+	GeoRelGl  float64
+	MaxRelGl  float64
+}
+
+// Fig5 gives each tuner the paper's 100-second per-layer budget and
+// compares the resulting code performance: AutoTVM without transfer
+// learning, with transfer learning (leave-target-out logs), and Glimpse.
+func (e *Env) Fig5() (*Fig5Result, error) {
+	const budgetSec = 100.0
+	out := &Fig5Result{BudgetSec: budgetSec}
+	var relsTL, relsGl []float64
+	for _, target := range e.cfg.Targets {
+		m, err := measure.NewLocal(target)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range e.cfg.Models {
+			tasks, err := e.GridTasks(model)
+			if err != nil {
+				return nil, err
+			}
+			perTuner := map[string][]float64{}
+			for _, task := range tasks {
+				sp, err := space.ForTask(task)
+				if err != nil {
+					return nil, err
+				}
+				for _, name := range []string{"autotvm", "autotvm-tl", "glimpse"} {
+					tn, err := e.TunerFor(name, task, target)
+					if err != nil {
+						return nil, err
+					}
+					res, err := tn.Tune(task, sp, m, tuner.Budget{MaxGPUSeconds: budgetSec},
+						e.rngFor(fmt.Sprintf("fig5/%s/%s/%s", target, task.Name(), name)))
+					if err != nil {
+						return nil, err
+					}
+					v := res.BestGFLOPS
+					if v <= 0 {
+						v = 1e-3 // found nothing within budget
+					}
+					perTuner[name] = append(perTuner[name], v)
+				}
+			}
+			cell := Fig5Cell{
+				GPU:       target,
+				Model:     model,
+				AutoTVM:   metrics.Geomean(perTuner["autotvm"]),
+				AutoTVMTL: metrics.Geomean(perTuner["autotvm-tl"]),
+				Glimpse:   metrics.Geomean(perTuner["glimpse"]),
+			}
+			cell.RelTL = cell.AutoTVMTL / cell.AutoTVM
+			cell.RelGlimpse = cell.Glimpse / cell.AutoTVM
+			relsTL = append(relsTL, cell.RelTL)
+			relsGl = append(relsGl, cell.RelGlimpse)
+			if cell.RelGlimpse > out.MaxRelGl {
+				out.MaxRelGl = cell.RelGlimpse
+			}
+			out.Cells = append(out.Cells, cell)
+			e.logf("fig5: %-14s %-10s TL=%.2fx glimpse=%.2fx", target, model, cell.RelTL, cell.RelGlimpse)
+		}
+	}
+	out.GeoRelTL = metrics.Geomean(relsTL)
+	out.GeoRelGl = metrics.Geomean(relsGl)
+	return out, nil
+}
+
+// Render formats the Figure 5 report.
+func (r *Fig5Result) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 5 — output code performance / AutoTVM, %g s budget per layer", r.BudgetSec),
+		"gpu", "model", "autotvm", "autotvm+TL", "glimpse", "TL rel", "glimpse rel")
+	for _, c := range r.Cells {
+		t.AddRowf(c.GPU, c.Model, c.AutoTVM, c.AutoTVMTL, c.Glimpse,
+			fmt.Sprintf("%.2f×", c.RelTL), fmt.Sprintf("%.2f×", c.RelGlimpse))
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "geomean: transfer learning %.2f×, Glimpse %.2f× (max %.2f×)\n",
+		r.GeoRelTL, r.GeoRelGl, r.MaxRelGl)
+	sb.WriteString("paper: Glimpse geomean 1.40× over AutoTVM (max 2.18×); TL ≈1× and sometimes below\n")
+	return sb.String()
+}

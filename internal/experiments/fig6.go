@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+// Fig6Cell is one (GPU, model) bar of Figure 6: a tuner's search steps —
+// hardware measurements until it first matches the common quality target
+// (95% of the weakest tuner's final best) — relative to AutoTVM's.
+type Fig6Cell struct {
+	GPU, Model string
+	Steps      map[string]int     // tuner → total measurements to convergence
+	Relative   map[string]float64 // tuner → fraction of AutoTVM's steps
+}
+
+// Fig6Result aggregates the search-step comparison.
+type Fig6Result struct {
+	Tuners  []string
+	Cells   []Fig6Cell
+	Geomean map[string]float64 // tuner → geomean relative steps
+}
+
+// Fig6 computes search steps from a grid (the grid must contain autotvm).
+func Fig6(grid *Grid) (*Fig6Result, error) {
+	out := &Fig6Result{
+		Tuners:  grid.Tuners,
+		Geomean: map[string]float64{},
+	}
+	rels := map[string][]float64{}
+	for _, gpu := range grid.Cfg.Targets {
+		for _, model := range grid.Cfg.Models {
+			cell := Fig6Cell{GPU: gpu, Model: model,
+				Steps: map[string]int{}, Relative: map[string]float64{}}
+			for _, name := range grid.Tuners {
+				total, _, err := grid.EffortStats(name, gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				cell.Steps[name] = total
+			}
+			base := cell.Steps["autotvm"]
+			if base == 0 {
+				return nil, fmt.Errorf("experiments: fig6 needs autotvm in the grid")
+			}
+			for _, name := range grid.Tuners {
+				rel := float64(cell.Steps[name]) / float64(base)
+				cell.Relative[name] = rel
+				rels[name] = append(rels[name], rel)
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	for name, v := range rels {
+		out.Geomean[name] = metrics.Geomean(v)
+	}
+	return out, nil
+}
+
+// Render formats the Figure 6 report.
+func (r *Fig6Result) Render() string {
+	var sb strings.Builder
+	headers := append([]string{"gpu", "model"}, r.Tuners...)
+	t := metrics.NewTable("Figure 6 — search steps / AutoTVM (lower is better)", headers...)
+	for _, c := range r.Cells {
+		row := []string{c.GPU, c.Model}
+		for _, name := range r.Tuners {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*c.Relative[name]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean", ""}
+	for _, name := range r.Tuners {
+		row = append(row, fmt.Sprintf("%.1f%%", 100*r.Geomean[name]))
+	}
+	t.AddRow(row...)
+	sb.WriteString(t.String())
+	sb.WriteString("paper geomeans: chameleon 50.3%, glimpse 19.7% of AutoTVM's steps (5.07× / 2.55× reductions)\n")
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+// Fig8Result is the Blueprint design-space exploration of Figure 8:
+// information loss versus embedding size, plus the chosen knee.
+type Fig8Result struct {
+	Points    []blueprint.DSEPoint
+	ChosenDim int
+	KneeLoss  float64
+}
+
+// Fig8 sweeps the PCA dimension over the GPU registry.
+func (e *Env) Fig8() (*Fig8Result, error) {
+	specs := hwspec.Registry()
+	points, err := blueprint.DSE(specs)
+	if err != nil {
+		return nil, err
+	}
+	dim, err := blueprint.ChooseDim(specs, 0.005)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{Points: points, ChosenDim: dim}
+	for _, p := range points {
+		if p.Dim == dim {
+			out.KneeLoss = p.Loss
+		}
+	}
+	return out, nil
+}
+
+// Render formats the Figure 8 report.
+func (r *Fig8Result) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		"Figure 8 — Blueprint DSE: information loss vs embedding size",
+		"dim", "size %", "info loss (RMSE)", "explained var", "")
+	for _, p := range r.Points {
+		marker := ""
+		if p.Dim == r.ChosenDim {
+			marker = "★ chosen"
+		}
+		t.AddRowf(p.Dim, fmt.Sprintf("%.0f%%", 100*p.RelativeSize),
+			fmt.Sprintf("%.5f", p.Loss), fmt.Sprintf("%.4f", p.Explained), marker)
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "chosen dim %d: loss %.5f (paper targets <0.5%% loss at the knee)\n", r.ChosenDim, r.KneeLoss)
+	return sb.String()
+}

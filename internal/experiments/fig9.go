@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+// Fig9Result is the end-to-end evaluation: (a) optimization-time
+// improvement over AutoTVM per model, and (b) inference-speed improvement
+// of the produced binaries, both geomeaned over the target GPUs.
+type Fig9Result struct {
+	Tuners []string
+	Models []string
+	// TimeImprovement[tuner][model] = AutoTVM optimization time / tuner's.
+	TimeImprovement map[string]map[string]float64
+	// InferenceSpeed[tuner][model] = AutoTVM latency / tuner latency.
+	InferenceSpeed map[string]map[string]float64
+	// Geomeans across models.
+	TimeGeomean      map[string]float64
+	InferenceGeomean map[string]float64
+}
+
+// Fig9 computes both panels from a grid containing autotvm.
+func Fig9(grid *Grid) (*Fig9Result, error) {
+	out := &Fig9Result{
+		Tuners:           grid.Tuners,
+		Models:           grid.Cfg.Models,
+		TimeImprovement:  map[string]map[string]float64{},
+		InferenceSpeed:   map[string]map[string]float64{},
+		TimeGeomean:      map[string]float64{},
+		InferenceGeomean: map[string]float64{},
+	}
+	for _, name := range grid.Tuners {
+		out.TimeImprovement[name] = map[string]float64{}
+		out.InferenceSpeed[name] = map[string]float64{}
+		var timeRels, infRels []float64
+		for _, model := range grid.Cfg.Models {
+			var tRel, iRel []float64
+			for _, gpu := range grid.Cfg.Targets {
+				_, baseTime, err := grid.EffortStats("autotvm", gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				_, tTime, err := grid.EffortStats(name, gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				tRel = append(tRel, baseTime/tTime)
+
+				baseLat, err := grid.ModelLatencyMS("autotvm", gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				tLat, err := grid.ModelLatencyMS(name, gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				iRel = append(iRel, baseLat/tLat)
+			}
+			out.TimeImprovement[name][model] = metrics.Geomean(tRel)
+			out.InferenceSpeed[name][model] = metrics.Geomean(iRel)
+			timeRels = append(timeRels, out.TimeImprovement[name][model])
+			infRels = append(infRels, out.InferenceSpeed[name][model])
+		}
+		out.TimeGeomean[name] = metrics.Geomean(timeRels)
+		out.InferenceGeomean[name] = metrics.Geomean(infRels)
+	}
+	return out, nil
+}
+
+// Render formats both Figure 9 panels.
+func (r *Fig9Result) Render() string {
+	var sb strings.Builder
+	headers := append([]string{"tuner"}, r.Models...)
+	headers = append(headers, "geomean")
+
+	ta := metrics.NewTable("Figure 9a — optimization time improvement / AutoTVM", headers...)
+	for _, name := range r.Tuners {
+		row := []string{name}
+		for _, model := range r.Models {
+			row = append(row, fmt.Sprintf("%.2f×", r.TimeImprovement[name][model]))
+		}
+		row = append(row, fmt.Sprintf("%.2f×", r.TimeGeomean[name]))
+		ta.AddRow(row...)
+	}
+	sb.WriteString(ta.String())
+	sb.WriteString("paper geomeans: chameleon 4.45×, dgp 3.50×, glimpse 6.73×\n\n")
+
+	tb := metrics.NewTable("Figure 9b — inference speed of output binaries / AutoTVM", headers...)
+	for _, name := range r.Tuners {
+		row := []string{name}
+		for _, model := range r.Models {
+			row = append(row, fmt.Sprintf("%.3f×", r.InferenceSpeed[name][model]))
+		}
+		row = append(row, fmt.Sprintf("%.3f×", r.InferenceGeomean[name]))
+		tb.AddRow(row...)
+	}
+	sb.WriteString(tb.String())
+	sb.WriteString("paper geomeans: chameleon 1.047×, dgp 1.058×, glimpse 1.058× (glimpse ties or beats every baseline)\n")
+	return sb.String()
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// RunKey identifies one tuning run inside a grid.
+type RunKey struct {
+	Tuner     string
+	GPU       string
+	Model     string
+	TaskIndex int
+}
+
+// Grid holds the (tuner × GPU × model × task) results the aggregate
+// experiments (Figs. 6, 7, 9, Table 2) are computed from.
+type Grid struct {
+	Cfg     Config
+	Tuners  []string
+	Results map[RunKey]*tuner.Result
+	Tasks   map[string][]workload.Task // model → task subset used
+}
+
+// RunGrid executes every tuning run in the grid. It is the workhorse of
+// the end-to-end experiments; results are deterministic in Config.Seed.
+func (e *Env) RunGrid(tuners []string) (*Grid, error) {
+	grid := &Grid{
+		Cfg:     e.cfg,
+		Tuners:  append([]string(nil), tuners...),
+		Results: map[RunKey]*tuner.Result{},
+		Tasks:   map[string][]workload.Task{},
+	}
+	budget := tuner.Budget{
+		MaxMeasurements: e.cfg.MaxMeasurements,
+		Patience:        e.cfg.Patience,
+		Epsilon:         e.cfg.Epsilon,
+	}
+	for _, model := range e.cfg.Models {
+		tasks, err := e.GridTasks(model)
+		if err != nil {
+			return nil, err
+		}
+		grid.Tasks[model] = tasks
+	}
+	for _, target := range e.cfg.Targets {
+		m, err := measure.NewLocal(target)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range e.cfg.Models {
+			for _, task := range grid.Tasks[model] {
+				sp, err := space.ForTask(task)
+				if err != nil {
+					return nil, err
+				}
+				for _, name := range tuners {
+					tn, err := e.TunerFor(name, task, target)
+					if err != nil {
+						return nil, err
+					}
+					g := e.rngFor(fmt.Sprintf("grid/%s/%s/%s", name, target, task.Name()))
+					res, err := tn.Tune(task, sp, m, budget, g)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: %s on %s/%s: %w", name, target, task.Name(), err)
+					}
+					grid.Results[RunKey{name, target, model, task.Index}] = res
+					e.logf("grid: %-10s %-14s %-22s best=%7.0f GFLOPS meas=%3d invalid=%2d gpu=%5.0fs",
+						name, target, task.Name(), res.BestGFLOPS, res.Measurements, res.Invalid, res.GPUSeconds)
+				}
+			}
+		}
+	}
+	return grid, nil
+}
+
+// Get returns one run's result.
+func (g *Grid) Get(tunerName, gpu, model string, taskIndex int) (*tuner.Result, error) {
+	res, ok := g.Results[RunKey{tunerName, gpu, model, taskIndex}]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no grid result for %s/%s/%s/L%d", tunerName, gpu, model, taskIndex)
+	}
+	return res, nil
+}
+
+// TargetGFLOPS is the common quality bar for one (gpu, model, task): frac
+// of the weakest tuner's final best. Every tuner in the grid reached it,
+// so "effort to target" is well defined for all of them.
+func (g *Grid) TargetGFLOPS(gpu, model string, taskIndex int, frac float64) (float64, error) {
+	minBest := -1.0
+	for _, name := range g.Tuners {
+		res, err := g.Get(name, gpu, model, taskIndex)
+		if err != nil {
+			return 0, err
+		}
+		if minBest < 0 || res.BestGFLOPS < minBest {
+			minBest = res.BestGFLOPS
+		}
+	}
+	if minBest <= 0 {
+		return 0, fmt.Errorf("experiments: no tuner found a valid config for %s/%s/L%d", gpu, model, taskIndex)
+	}
+	return frac * minBest, nil
+}
+
+// EffortToTarget reads a run's history and returns the measurements and
+// simulated GPU seconds spent when best-so-far first reached the target.
+// Runs that never reached it are charged their full effort.
+func EffortToTarget(res *tuner.Result, target float64) (measurements int, gpuSeconds float64) {
+	for _, h := range res.History {
+		if h.BestGFLOPS >= target {
+			return h.Measurements, h.GPUSeconds
+		}
+	}
+	return res.Measurements, res.GPUSeconds
+}
+
+// qualityFrac is the common-target fraction used by the search-effort
+// experiments (Figs. 6 and 9a, Table 2).
+const qualityFrac = 0.95
+
+// EffortStats totals a tuner's measurements and GPU seconds to the common
+// quality target over a model's tasks on one GPU.
+func (g *Grid) EffortStats(tunerName, gpu, model string) (measurements int, gpuSeconds float64, err error) {
+	for _, task := range g.Tasks[model] {
+		target, err := g.TargetGFLOPS(gpu, model, task.Index, qualityFrac)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := g.Get(tunerName, gpu, model, task.Index)
+		if err != nil {
+			return 0, 0, err
+		}
+		m, s := EffortToTarget(res, target)
+		measurements += m
+		gpuSeconds += s
+	}
+	return measurements, gpuSeconds, nil
+}
+
+// SumGPUSeconds totals a tuner's simulated GPU time over a model's tasks
+// on one GPU.
+func (g *Grid) SumGPUSeconds(tunerName, gpu, model string) (float64, error) {
+	total := 0.0
+	for _, task := range g.Tasks[model] {
+		res, err := g.Get(tunerName, gpu, model, task.Index)
+		if err != nil {
+			return 0, err
+		}
+		total += res.GPUSeconds
+	}
+	return total, nil
+}
+
+// InvalidStats totals measurements and invalid measurements for a tuner
+// over a model's tasks on one GPU.
+func (g *Grid) InvalidStats(tunerName, gpu, model string) (measured, invalid int, err error) {
+	for _, task := range g.Tasks[model] {
+		res, err := g.Get(tunerName, gpu, model, task.Index)
+		if err != nil {
+			return 0, 0, err
+		}
+		measured += res.Measurements
+		invalid += res.Invalid
+	}
+	return measured, invalid, nil
+}
+
+// ModelLatencyMS assembles the end-to-end model latency for a tuner on one
+// GPU: for each distinct layer the deployment picks the faster of the
+// direct and winograd kernels, weighted by the layer's multiplicity.
+// Tasks outside the grid subset are excluded consistently for every tuner.
+func (g *Grid) ModelLatencyMS(tunerName, gpu, model string) (float64, error) {
+	tasks := g.Tasks[model]
+	// Winograd tasks override their direct counterpart when faster.
+	type layerKey struct {
+		conv workload.ConvShape
+	}
+	bestConv := map[layerKey]float64{} // per conv shape: best ms across templates
+	repeats := map[layerKey]int{}
+	total := 0.0
+	for _, task := range tasks {
+		res, err := g.Get(tunerName, gpu, model, task.Index)
+		if err != nil {
+			return 0, err
+		}
+		if res.BestIndex < 0 {
+			return 0, fmt.Errorf("experiments: %s found no valid config for %s/%s L%d", tunerName, gpu, model, task.Index)
+		}
+		switch task.Kind {
+		case workload.Dense:
+			total += res.BestTimeMS * float64(task.Repeats)
+		default:
+			k := layerKey{task.Conv}
+			if old, ok := bestConv[k]; !ok || res.BestTimeMS < old {
+				bestConv[k] = res.BestTimeMS
+			}
+			repeats[k] = task.Repeats
+		}
+	}
+	for k, ms := range bestConv {
+		total += ms * float64(repeats[k])
+	}
+	return total, nil
+}

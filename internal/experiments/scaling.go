@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+)
+
+// ScalingPoint is the cumulative tuning cost after deploying to n GPUs.
+type ScalingPoint struct {
+	NumGPUs        int
+	AutoTVMSeconds float64 // Σ per-GPU from-scratch tuning
+	GlimpseSeconds float64 // Σ per-GPU Blueprint-guided tuning
+	Speedup        float64
+}
+
+// ScalingResult quantifies the paper's §1 economics: hardware-agnostic
+// tuning costs scale linearly with the number of target GPUs, while
+// Glimpse's per-target cost is much smaller because the Blueprint lets
+// one offline investment transfer to every new datasheet.
+type ScalingResult struct {
+	Model  string
+	Points []ScalingPoint
+}
+
+// Scaling tunes one model's grid tasks on a growing fleet with both
+// AutoTVM and Glimpse, accumulating simulated GPU time to a common
+// quality target per task.
+func (e *Env) Scaling() (*ScalingResult, error) {
+	model := e.cfg.Models[0]
+	tasks, err := e.GridTasks(model)
+	if err != nil {
+		return nil, err
+	}
+	out := &ScalingResult{Model: model}
+	cumAutoTVM, cumGlimpse := 0.0, 0.0
+	budget := tuner.Budget{
+		MaxMeasurements: e.cfg.MaxMeasurements,
+		Patience:        e.cfg.Patience,
+		Epsilon:         e.cfg.Epsilon,
+	}
+	for n, target := range e.cfg.Targets {
+		m, err := measure.NewLocal(target)
+		if err != nil {
+			return nil, err
+		}
+		for _, task := range tasks {
+			sp, err := space.ForTask(task)
+			if err != nil {
+				return nil, err
+			}
+			results := map[string]*tuner.Result{}
+			for _, name := range []string{"autotvm", "glimpse"} {
+				tn, err := e.TunerFor(name, task, target)
+				if err != nil {
+					return nil, err
+				}
+				res, err := tn.Tune(task, sp, m, budget,
+					e.rngFor(fmt.Sprintf("scaling/%s/%s/%s", name, target, task.Name())))
+				if err != nil {
+					return nil, err
+				}
+				results[name] = res
+			}
+			// Effort to the weaker tuner's 95% quality, as in Fig. 9a.
+			target95 := results["autotvm"].BestGFLOPS
+			if g := results["glimpse"].BestGFLOPS; g < target95 {
+				target95 = g
+			}
+			target95 *= 0.95
+			_, aSec := EffortToTarget(results["autotvm"], target95)
+			_, gSec := EffortToTarget(results["glimpse"], target95)
+			cumAutoTVM += aSec
+			cumGlimpse += gSec
+		}
+		out.Points = append(out.Points, ScalingPoint{
+			NumGPUs:        n + 1,
+			AutoTVMSeconds: cumAutoTVM,
+			GlimpseSeconds: cumGlimpse,
+			Speedup:        cumAutoTVM / cumGlimpse,
+		})
+		e.logf("scaling: %d GPUs — autotvm %.0fs vs glimpse %.0fs", n+1, cumAutoTVM, cumGlimpse)
+	}
+	return out, nil
+}
+
+// Render formats the scaling report.
+func (r *ScalingResult) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Fleet-scaling economics (%s): cumulative tuning cost vs fleet size", r.Model),
+		"GPUs", "autotvm (GPU s)", "glimpse (GPU s)", "saved", "speedup")
+	for _, p := range r.Points {
+		t.AddRowf(p.NumGPUs,
+			fmt.Sprintf("%.0f", p.AutoTVMSeconds),
+			fmt.Sprintf("%.0f", p.GlimpseSeconds),
+			fmt.Sprintf("%.0f", p.AutoTVMSeconds-p.GlimpseSeconds),
+			fmt.Sprintf("%.2f×", p.Speedup))
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("the paper's §1 motivation: per-target cost compounds across a fleet; Blueprint transfer amortizes it\n")
+	return sb.String()
+}

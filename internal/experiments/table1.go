@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Table1Row is one model's task inventory.
+type Table1Row struct {
+	Model    string
+	Total    int
+	Conv2D   int
+	Winograd int
+	Dense    int
+}
+
+// Table1Result reproduces Table 1: models, per-template task counts, and
+// the target GPUs with their generations.
+type Table1Result struct {
+	Rows []Table1Row
+	GPUs []hwspec.Spec
+}
+
+// Table1 extracts the inventory.
+func (e *Env) Table1() (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, model := range workload.Models {
+		tasks, err := workload.Tasks(model)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Model: model, Total: len(tasks)}
+		for _, t := range tasks {
+			switch t.Kind {
+			case workload.Conv2D:
+				row.Conv2D++
+			case workload.WinogradConv2D:
+				row.Winograd++
+			case workload.Dense:
+				row.Dense++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, name := range hwspec.Targets {
+		out.GPUs = append(out.GPUs, hwspec.MustByName(name))
+	}
+	return out, nil
+}
+
+// Render formats the Table 1 report.
+func (r *Table1Result) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable("Table 1 — DNN models and tuning tasks (dataset: ImageNet)",
+		"model", "tasks", "breakdown")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Model, row.Total,
+			fmt.Sprintf("%d conv2d, %d winograd conv2d, %d dense", row.Conv2D, row.Winograd, row.Dense))
+	}
+	sb.WriteString(t.String())
+	sb.WriteByte('\n')
+	g := metrics.NewTable("Table 1 — target GPUs", "hardware", "generation (gencode)")
+	for _, spec := range r.GPUs {
+		g.AddRowf(spec.Name, fmt.Sprintf("%s (%s)", spec.Generation, spec.Gencode))
+	}
+	sb.WriteString(g.String())
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+// Table2Row is one (tuner, model) summary of Table 2.
+type Table2Row struct {
+	Tuner              string
+	Model              string
+	GPUHours           float64 // Σ over target GPUs of simulated search time
+	MeanInferenceMS    float64 // mean over target GPUs of model latency
+	SearchReduction    float64 // vs AutoTVM, fraction
+	InferenceReduction float64 // vs AutoTVM, fraction
+	HyperVolume        float64 // Eq. 2
+}
+
+// Table2Result reproduces Table 2.
+type Table2Result struct {
+	Tuners []string
+	Rows   []Table2Row
+	// BaselinePerGPU mirrors the paper's second row block: AutoTVM's mean
+	// inference latency per target GPU (ms, averaged over models).
+	BaselinePerGPU map[string]float64
+}
+
+// Table2 aggregates a grid into the paper's multi-objective summary.
+func Table2(grid *Grid) (*Table2Result, error) {
+	out := &Table2Result{Tuners: grid.Tuners, BaselinePerGPU: map[string]float64{}}
+	for _, gpu := range grid.Cfg.Targets {
+		sum := 0.0
+		for _, model := range grid.Cfg.Models {
+			lat, err := grid.ModelLatencyMS("autotvm", gpu, model)
+			if err != nil {
+				return nil, err
+			}
+			sum += lat
+		}
+		out.BaselinePerGPU[gpu] = sum / float64(len(grid.Cfg.Models))
+	}
+	base := map[string]Table2Row{} // model → autotvm row
+	for _, name := range append([]string{"autotvm"}, others(grid.Tuners)...) {
+		for _, model := range grid.Cfg.Models {
+			row := Table2Row{Tuner: name, Model: model}
+			var latencies []float64
+			for _, gpu := range grid.Cfg.Targets {
+				_, secs, err := grid.EffortStats(name, gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				row.GPUHours += secs / 3600
+				lat, err := grid.ModelLatencyMS(name, gpu, model)
+				if err != nil {
+					return nil, err
+				}
+				latencies = append(latencies, lat)
+			}
+			sum := 0.0
+			for _, l := range latencies {
+				sum += l
+			}
+			row.MeanInferenceMS = sum / float64(len(latencies))
+			if name == "autotvm" {
+				base[model] = row
+			} else {
+				b := base[model]
+				row.SearchReduction = metrics.Reduction(b.GPUHours, row.GPUHours)
+				row.InferenceReduction = metrics.Reduction(b.MeanInferenceMS, row.MeanInferenceMS)
+				row.HyperVolume = metrics.HyperVolume(row.SearchReduction, row.InferenceReduction)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// others returns the grid tuners except autotvm, preserving order.
+func others(tuners []string) []string {
+	var out []string
+	for _, t := range tuners {
+		if t != "autotvm" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Render formats the Table 2 report.
+func (r *Table2Result) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		"Table 2 — Hyper-Volume summary (search GPU-hours and mean inference latency)",
+		"tuner", "model", "GPU hours", "mean infer (ms)", "search redu", "infer redu", "HV")
+	for _, row := range r.Rows {
+		if row.Tuner == "autotvm" {
+			t.AddRowf(row.Tuner, row.Model,
+				fmt.Sprintf("%.2f", row.GPUHours), fmt.Sprintf("%.3f", row.MeanInferenceMS),
+				"—", "—", "—")
+			continue
+		}
+		t.AddRowf(row.Tuner, row.Model,
+			fmt.Sprintf("%.2f", row.GPUHours), fmt.Sprintf("%.3f", row.MeanInferenceMS),
+			fmt.Sprintf("%.2f%%", 100*row.SearchReduction),
+			fmt.Sprintf("%.2f%%", 100*row.InferenceReduction),
+			fmt.Sprintf("%.4f", row.HyperVolume))
+	}
+	sb.WriteString(t.String())
+	if len(r.BaselinePerGPU) > 0 {
+		sb.WriteByte('\n')
+		pg := metrics.NewTable("AutoTVM mean inference per GPU (ms, averaged over models)", "gpu", "mean infer (ms)")
+		for _, gpu := range orderedKeys(r.BaselinePerGPU) {
+			pg.AddRowf(gpu, fmt.Sprintf("%.3f", r.BaselinePerGPU[gpu]))
+		}
+		sb.WriteString(pg.String())
+	}
+	sb.WriteString("paper: Glimpse posts the highest HV on every model (5.75 / 4.40 / 3.70 for AlexNet / ResNet-18 / VGG-16)\n")
+	return sb.String()
+}
+
+// orderedKeys returns map keys sorted lexically for stable rendering.
+func orderedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package fleet orchestrates whole-model, multi-GPU tuning — the
+// deployment scenario that motivates the paper (§1 prices "10 DNN models
+// on 100 different GPUs" at ~10,000 GPU hours). It tunes every task of a
+// model concurrently, assembles a deployment Plan (best configuration,
+// kernel source, and end-to-end latency per device), and fans out across
+// a GPU fleet.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/codegen"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// TaskPlan is the deployment decision for one tuning task.
+type TaskPlan struct {
+	TaskName    string  `json:"task"`
+	TaskIndex   int     `json:"task_index"`
+	Kind        string  `json:"kind"`
+	ConfigIndex int64   `json:"config_index"`
+	Schedule    string  `json:"schedule"`
+	GFLOPS      float64 `json:"gflops"`
+	TimeMS      float64 `json:"time_ms"`
+	Repeats     int     `json:"repeats"`
+	Kernel      string  `json:"kernel,omitempty"`
+}
+
+// Plan is the deployment artifact for one model on one GPU.
+type Plan struct {
+	Model        string     `json:"model"`
+	GPU          string     `json:"gpu"`
+	Tasks        []TaskPlan `json:"tasks"`
+	LatencyMS    float64    `json:"latency_ms"`
+	GPUSeconds   float64    `json:"gpu_seconds"`
+	Measurements int        `json:"measurements"`
+	Invalid      int        `json:"invalid"`
+}
+
+// Config controls a fleet tuning session.
+type Config struct {
+	Model string
+	// Tasks restricts tuning to a subset (default: every task of Model).
+	Tasks []workload.Task
+	// Budget per task.
+	Budget tuner.Budget
+	// Parallelism is the number of tasks tuned concurrently per device
+	// (default 2 — real boards serialize measurements, but compilation and
+	// search overlap).
+	Parallelism int
+	// NewTuner builds the tuner for one (task, gpu) pair.
+	NewTuner func(task workload.Task, gpu string) (tuner.Tuner, error)
+	// GenerateKernels embeds generated kernel source in the plan.
+	GenerateKernels bool
+}
+
+func (c *Config) resolve() error {
+	if c.NewTuner == nil {
+		return fmt.Errorf("fleet: Config.NewTuner is required")
+	}
+	if len(c.Tasks) == 0 {
+		tasks, err := workload.Tasks(c.Model)
+		if err != nil {
+			return err
+		}
+		c.Tasks = tasks
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 2
+	}
+	return nil
+}
+
+// TuneModel tunes every configured task of the model on one device and
+// assembles the deployment plan. Per-task randomness is derived from the
+// task name, so results do not depend on goroutine scheduling.
+func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
+	if err := cfg.resolve(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Model: cfg.Model, GPU: m.DeviceName()}
+
+	type outcome struct {
+		tp  TaskPlan
+		res *tuner.Result
+		err error
+	}
+	sem := make(chan struct{}, cfg.Parallelism)
+	results := make([]outcome, len(cfg.Tasks))
+	var wg sync.WaitGroup
+	for i, task := range cfg.Tasks {
+		wg.Add(1)
+		go func(i int, task workload.Task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			sp, err := space.ForTask(task)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			tn, err := cfg.NewTuner(task, m.DeviceName())
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			res, err := tn.Tune(task, sp, m, cfg.Budget, g.Split("fleet/"+task.Name()))
+			if err != nil {
+				results[i] = outcome{err: fmt.Errorf("fleet: %s: %w", task.Name(), err)}
+				return
+			}
+			if res.BestIndex < 0 {
+				results[i] = outcome{err: fmt.Errorf("fleet: %s: no valid configuration found", task.Name())}
+				return
+			}
+			tp := TaskPlan{
+				TaskName:    task.Name(),
+				TaskIndex:   task.Index,
+				Kind:        task.Kind.String(),
+				ConfigIndex: res.BestIndex,
+				Schedule:    sp.Describe(sp.FromIndex(res.BestIndex)),
+				GFLOPS:      res.BestGFLOPS,
+				TimeMS:      res.BestTimeMS,
+				Repeats:     task.Repeats,
+			}
+			if cfg.GenerateKernels {
+				kern, err := codegen.Lower(task, sp, sp.FromIndex(res.BestIndex))
+				if err != nil {
+					results[i] = outcome{err: err}
+					return
+				}
+				tp.Kernel = kern.Render()
+			}
+			results[i] = outcome{tp: tp, res: res}
+		}(i, task)
+	}
+	wg.Wait()
+
+	for _, o := range results {
+		if o.err != nil {
+			return nil, o.err
+		}
+		plan.Tasks = append(plan.Tasks, o.tp)
+		plan.GPUSeconds += o.res.GPUSeconds
+		plan.Measurements += o.res.Measurements
+		plan.Invalid += o.res.Invalid
+	}
+	plan.LatencyMS = assembleLatency(cfg.Tasks, plan.Tasks)
+	return plan, nil
+}
+
+// assembleLatency sums per-layer kernel times, picking the faster of the
+// direct and winograd variants for each convolution shape.
+func assembleLatency(tasks []workload.Task, plans []TaskPlan) float64 {
+	byIndex := map[int]TaskPlan{}
+	for _, tp := range plans {
+		byIndex[tp.TaskIndex] = tp
+	}
+	bestConv := map[workload.ConvShape]float64{}
+	repeats := map[workload.ConvShape]int{}
+	total := 0.0
+	for _, task := range tasks {
+		tp, ok := byIndex[task.Index]
+		if !ok {
+			continue
+		}
+		if task.Kind == workload.Dense {
+			total += tp.TimeMS * float64(task.Repeats)
+			continue
+		}
+		if old, seen := bestConv[task.Conv]; !seen || tp.TimeMS < old {
+			bestConv[task.Conv] = tp.TimeMS
+		}
+		repeats[task.Conv] = task.Repeats
+	}
+	for shape, ms := range bestConv {
+		total += ms * float64(repeats[shape])
+	}
+	return total
+}
+
+// TuneFleet tunes the model on every named GPU concurrently (one in-
+// process simulated device each) and returns the plans in input order.
+func TuneFleet(cfg Config, gpus []string, g *rng.RNG) ([]*Plan, error) {
+	plans := make([]*Plan, len(gpus))
+	errs := make([]error, len(gpus))
+	var wg sync.WaitGroup
+	for i, gpu := range gpus {
+		wg.Add(1)
+		go func(i int, gpu string) {
+			defer wg.Done()
+			m, err := measure.NewLocal(gpu)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plans[i], errs[i] = TuneModel(cfg, m, g.Split("device/"+gpu))
+		}(i, gpu)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plans, nil
+}
+
+// Save writes the plan as JSON.
+func (p *Plan) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadPlan reads a plan saved by Save.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fleet: parse plan %s: %w", path, err)
+	}
+	if p.Model == "" || len(p.Tasks) == 0 {
+		return nil, fmt.Errorf("fleet: plan %s is empty", path)
+	}
+	return &p, nil
+}

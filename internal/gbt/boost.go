@@ -1,0 +1,212 @@
+package gbt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// Objective selects the boosting loss.
+type Objective int
+
+const (
+	// SquaredError fits the targets directly.
+	SquaredError Objective = iota
+	// PairwiseRank fits a RankNet-style pairwise logistic loss: the model
+	// only needs to order configurations correctly, which is exactly what
+	// AutoTVM's tuner consumes.
+	PairwiseRank
+)
+
+// Config controls the boosted ensemble.
+type Config struct {
+	Trees         int
+	MaxDepth      int
+	MinLeaf       int
+	LearningRate  float64
+	Lambda        float64
+	Gamma         float64
+	Subsample     float64 // row subsample per tree
+	ColSampleRate float64 // feature subsample per split
+	Objective     Objective
+	// RankPairs caps the number of sampled pairs per boosting round for
+	// PairwiseRank (0 means 4·n).
+	RankPairs int
+}
+
+// DefaultConfig mirrors the compact models AutoTVM uses in its tuner loop.
+func DefaultConfig() Config {
+	return Config{
+		Trees:         40,
+		MaxDepth:      5,
+		MinLeaf:       2,
+		LearningRate:  0.15,
+		Lambda:        1.0,
+		Gamma:         1e-4,
+		Subsample:     0.9,
+		ColSampleRate: 0.9,
+		Objective:     SquaredError,
+	}
+}
+
+// Ensemble is a trained gradient-boosted model.
+type Ensemble struct {
+	cfg   Config
+	base  float64
+	trees []*Tree
+}
+
+// Train fits a boosted ensemble on (x, y).
+func Train(x [][]float64, y []float64, cfg Config, g *rng.RNG) (*Ensemble, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("gbt: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("gbt: %d inputs but %d targets", len(x), len(y))
+	}
+	if cfg.Trees <= 0 {
+		cfg = DefaultConfig()
+	}
+	n := len(x)
+	e := &Ensemble{cfg: cfg}
+
+	// Base score: mean for regression, 0 for ranking.
+	if cfg.Objective == SquaredError {
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		e.base = s / float64(n)
+	}
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = e.base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	for round := 0; round < cfg.Trees; round++ {
+		switch cfg.Objective {
+		case SquaredError:
+			for i := range grad {
+				grad[i] = pred[i] - y[i]
+				hess[i] = 1
+			}
+		case PairwiseRank:
+			pairwiseGradients(y, pred, grad, hess, cfg.RankPairs, g)
+		default:
+			return nil, fmt.Errorf("gbt: unknown objective %d", cfg.Objective)
+		}
+
+		idx := subsample(n, cfg.Subsample, g)
+		tree := buildTree(x, grad, hess, idx, treeParams{
+			maxDepth:      cfg.MaxDepth,
+			minLeaf:       cfg.MinLeaf,
+			lambda:        cfg.Lambda,
+			gamma:         cfg.Gamma,
+			colSampleRate: cfg.ColSampleRate,
+		}, g)
+		e.trees = append(e.trees, tree)
+		for i := range pred {
+			pred[i] += cfg.LearningRate * tree.Predict(x[i])
+		}
+	}
+	return e, nil
+}
+
+// pairwiseGradients computes RankNet gradients over sampled pairs.
+func pairwiseGradients(y, pred, grad, hess []float64, pairs int, g *rng.RNG) {
+	n := len(y)
+	for i := range grad {
+		grad[i] = 0
+		hess[i] = 1e-3 // keep leaves bounded even for unsampled rows
+	}
+	if pairs <= 0 {
+		pairs = 4 * n
+	}
+	for p := 0; p < pairs; p++ {
+		i, j := g.Intn(n), g.Intn(n)
+		if y[i] == y[j] {
+			continue
+		}
+		if y[i] < y[j] {
+			i, j = j, i // ensure y[i] > y[j]: i should outrank j
+		}
+		diff := pred[i] - pred[j]
+		sig := 1 / (1 + math.Exp(diff))
+		// d/dpred_i of -log σ(pred_i − pred_j) = −σ(−diff).
+		grad[i] -= sig
+		grad[j] += sig
+		h := sig * (1 - sig)
+		hess[i] += h
+		hess[j] += h
+	}
+}
+
+func subsample(n int, rate float64, g *rng.RNG) []int {
+	if rate >= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(math.Ceil(rate * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	return g.SampleWithoutReplacement(n, k)
+}
+
+// Predict evaluates the ensemble on one feature vector.
+func (e *Ensemble) Predict(x []float64) float64 {
+	out := e.base
+	for _, t := range e.trees {
+		out += e.cfg.LearningRate * t.Predict(x)
+	}
+	return out
+}
+
+// PredictBatch evaluates the ensemble on many feature vectors.
+func (e *Ensemble) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = e.Predict(row)
+	}
+	return out
+}
+
+// NumTrees returns the ensemble size.
+func (e *Ensemble) NumTrees() int { return len(e.trees) }
+
+// RankAccuracy reports the fraction of all ordered pairs (i, j) with
+// y[i] > y[j] that the model also orders correctly — the metric that
+// matters for a tuner's candidate ranking.
+func (e *Ensemble) RankAccuracy(x [][]float64, y []float64) float64 {
+	pred := e.PredictBatch(x)
+	type pair struct{ y, p float64 }
+	ps := make([]pair, len(y))
+	for i := range y {
+		ps[i] = pair{y[i], pred[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].y < ps[b].y })
+	correct, total := 0, 0
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[i].y == ps[j].y {
+				continue
+			}
+			total++
+			if ps[j].p > ps[i].p {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}

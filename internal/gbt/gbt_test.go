@@ -1,0 +1,160 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+func makeFriedman(n int, g *rng.RNG) ([][]float64, []float64) {
+	// A mildly nonlinear regression target.
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b, c := g.Float64(), g.Float64(), g.Float64()
+		x[i] = []float64{a, b, c}
+		y[i] = 10*math.Sin(math.Pi*a*b) + 5*c*c
+	}
+	return x, y
+}
+
+func TestSingleTreeFitsStep(t *testing.T) {
+	g := rng.New(1)
+	// Step function at x=0.5, easily captured by one split.
+	x := [][]float64{{0.1}, {0.2}, {0.3}, {0.7}, {0.8}, {0.9}}
+	y := []float64{0, 0, 0, 1, 1, 1}
+	grad := make([]float64, len(y))
+	hess := make([]float64, len(y))
+	for i := range y {
+		grad[i] = -y[i] // pred=0 ⇒ grad = pred - y
+		hess[i] = 1
+	}
+	idx := []int{0, 1, 2, 3, 4, 5}
+	tree := buildTree(x, grad, hess, idx, treeParams{
+		maxDepth: 3, minLeaf: 1, lambda: 0, gamma: 0, colSampleRate: 1,
+	}, g)
+	if tree.NumNodes() < 3 {
+		t.Fatalf("tree did not split: %d nodes", tree.NumNodes())
+	}
+	if p := tree.Predict([]float64{0.2}); math.Abs(p) > 0.1 {
+		t.Fatalf("left leaf = %g want ≈0", p)
+	}
+	if p := tree.Predict([]float64{0.8}); math.Abs(p-1) > 0.1 {
+		t.Fatalf("right leaf = %g want ≈1", p)
+	}
+}
+
+func TestEnsembleReducesError(t *testing.T) {
+	g := rng.New(2)
+	x, y := makeFriedman(400, g)
+	cfg := DefaultConfig()
+	cfg.Trees = 80
+	e, err := Train(x, y, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-sample RMSE should be far below target std (~3.5).
+	se := 0.0
+	for i := range x {
+		d := e.Predict(x[i]) - y[i]
+		se += d * d
+	}
+	rmse := math.Sqrt(se / float64(len(x)))
+	if rmse > 1.0 {
+		t.Fatalf("ensemble RMSE = %g want < 1.0", rmse)
+	}
+}
+
+func TestEnsembleGeneralizes(t *testing.T) {
+	g := rng.New(3)
+	x, y := makeFriedman(600, g.Split("train"))
+	tx, ty := makeFriedman(200, g.Split("test"))
+	cfg := DefaultConfig()
+	cfg.Trees = 100
+	e, err := Train(x, y, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := 0.0
+	for i := range tx {
+		d := e.Predict(tx[i]) - ty[i]
+		se += d * d
+	}
+	rmse := math.Sqrt(se / float64(len(tx)))
+	if rmse > 1.5 {
+		t.Fatalf("test RMSE = %g want < 1.5", rmse)
+	}
+}
+
+func TestPairwiseRankOrdersWell(t *testing.T) {
+	g := rng.New(4)
+	x, y := makeFriedman(400, g)
+	cfg := DefaultConfig()
+	cfg.Trees = 60
+	cfg.Objective = PairwiseRank
+	e, err := Train(x, y, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := e.RankAccuracy(x, y); acc < 0.85 {
+		t.Fatalf("rank accuracy = %g want ≥ 0.85", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := rng.New(5)
+	if _, err := Train(nil, nil, DefaultConfig(), g); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, DefaultConfig(), g); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestZeroTreesFallsBackToDefault(t *testing.T) {
+	g := rng.New(6)
+	x, y := makeFriedman(50, g)
+	e, err := Train(x, y, Config{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumTrees() == 0 {
+		t.Fatal("default config produced no trees")
+	}
+}
+
+func TestConstantTargetPredictsConstant(t *testing.T) {
+	g := rng.New(7)
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	e, err := Train(x, y, DefaultConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, xi := range x {
+		if p := e.Predict(xi); math.Abs(p-5) > 1e-6 {
+			t.Fatalf("constant prediction = %g want 5", p)
+		}
+	}
+}
+
+func TestRankAccuracyPerfectAndDegenerate(t *testing.T) {
+	g := rng.New(8)
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	cfg := DefaultConfig()
+	cfg.Trees = 30
+	cfg.MinLeaf = 1
+	e, err := Train(x, y, cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := e.RankAccuracy(x, y); acc < 0.99 {
+		t.Fatalf("easy rank accuracy = %g", acc)
+	}
+	// All-equal targets: accuracy defined as 1.
+	if acc := e.RankAccuracy(x, []float64{7, 7, 7}); acc != 1 {
+		t.Fatalf("degenerate rank accuracy = %g want 1", acc)
+	}
+}

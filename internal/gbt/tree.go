@@ -1,0 +1,139 @@
+// Package gbt implements gradient-boosted regression trees, the cost-model
+// family AutoTVM uses (XGBoost in the paper). The boosted ensemble fits
+// either squared-error or a pairwise ranking objective; ranking is what
+// AutoTVM actually optimizes, since the tuner only needs candidates ordered
+// by predicted performance.
+package gbt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// treeNode is one node of a regression tree, stored in a flat slice.
+type treeNode struct {
+	feature   int     // split feature, -1 for leaf
+	threshold float64 // go left when x[feature] <= threshold
+	left      int     // child indices
+	right     int
+	value     float64 // leaf prediction
+}
+
+// Tree is a single regression tree fit to gradient/hessian statistics.
+type Tree struct {
+	nodes []treeNode
+}
+
+// treeParams controls regression-tree growth.
+type treeParams struct {
+	maxDepth      int
+	minLeaf       int
+	lambda        float64 // L2 regularization on leaf weights
+	gamma         float64 // split gain threshold
+	colSampleRate float64 // fraction of features per split search
+}
+
+// buildTree grows a tree on (x, grad, hess) rows indexed by idx.
+func buildTree(x [][]float64, grad, hess []float64, idx []int, p treeParams, g *rng.RNG) *Tree {
+	t := &Tree{}
+	t.grow(x, grad, hess, idx, 0, p, g)
+	return t
+}
+
+func (t *Tree) grow(x [][]float64, grad, hess []float64, idx []int, depth int, p treeParams, g *rng.RNG) int {
+	sumG, sumH := 0.0, 0.0
+	for _, i := range idx {
+		sumG += grad[i]
+		sumH += hess[i]
+	}
+	leafValue := -sumG / (sumH + p.lambda)
+
+	nodeIdx := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: leafValue})
+	if depth >= p.maxDepth || len(idx) < 2*p.minLeaf {
+		return nodeIdx
+	}
+
+	bestGain := p.gamma
+	bestFeature, bestThresh := -1, 0.0
+	rootScore := sumG * sumG / (sumH + p.lambda)
+
+	nFeat := len(x[0])
+	features := g.Perm(nFeat)
+	take := int(math.Ceil(p.colSampleRate * float64(nFeat)))
+	if take < 1 {
+		take = 1
+	}
+	features = features[:take]
+
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		leftG, leftH := 0.0, 0.0
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			leftG += grad[i]
+			leftH += hess[i]
+			if k+1 < p.minLeaf || len(order)-k-1 < p.minLeaf {
+				continue
+			}
+			cur, next := x[order[k]][f], x[order[k+1]][f]
+			if cur == next {
+				continue
+			}
+			rightG, rightH := sumG-leftG, sumH-leftH
+			gain := leftG*leftG/(leftH+p.lambda) + rightG*rightG/(rightH+p.lambda) - rootScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThresh = (cur + next) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return nodeIdx
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return nodeIdx
+	}
+	t.nodes[nodeIdx].feature = bestFeature
+	t.nodes[nodeIdx].threshold = bestThresh
+	t.nodes[nodeIdx].left = t.grow(x, grad, hess, leftIdx, depth+1, p, g)
+	t.nodes[nodeIdx].right = t.grow(x, grad, hess, rightIdx, depth+1, p, g)
+	return nodeIdx
+}
+
+// Predict evaluates the tree on one feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	n := 0
+	for {
+		node := t.nodes[n]
+		if node.feature < 0 {
+			return node.value
+		}
+		if node.feature >= len(x) {
+			panic(fmt.Sprintf("gbt: tree expects feature %d, input has %d", node.feature, len(x)))
+		}
+		if x[node.feature] <= node.threshold {
+			n = node.left
+		} else {
+			n = node.right
+		}
+	}
+}
+
+// NumNodes returns the node count (for size assertions in tests).
+func (t *Tree) NumNodes() int { return len(t.nodes) }

@@ -1,0 +1,30 @@
+package gpusim
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// BenchmarkMeasure is the cost of one simulated hardware measurement —
+// the unit everything else multiplies.
+func BenchmarkMeasure(b *testing.B) {
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	d := NewDevice(hwspec.MustByName(hwspec.RTX3090))
+	g := rng.New(1)
+	idxs := make([]int64, 1024)
+	for i := range idxs {
+		idxs[i] = sp.RandomIndex(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MeasureIndex(task, sp, idxs[i%len(idxs)])
+	}
+}

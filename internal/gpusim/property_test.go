@@ -1,0 +1,153 @@
+package gpusim
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// scaledSpec returns a copy of spec with compute or bandwidth scaled,
+// keeping everything else identical so monotonicity is isolated.
+func scaledSpec(spec hwspec.Spec, name string, computeScale, bwScale float64) hwspec.Spec {
+	s := spec
+	s.Name = name
+	s.PeakGFLOPS *= computeScale
+	s.SMCount = int(float64(s.SMCount) * computeScale)
+	if s.SMCount < 1 {
+		s.SMCount = 1
+	}
+	s.MemBWGBs *= bwScale
+	return s
+}
+
+// TestMoreBandwidthNeverSlower: with identical microarchitecture, raising
+// DRAM bandwidth can only help (noise is keyed by device name, so compare
+// with noise disabled).
+func TestMoreBandwidthNeverSlower(t *testing.T) {
+	base := hwspec.MustByName(hwspec.TitanXp)
+	slow := NewDevice(scaledSpec(base, base.Name, 1, 1))
+	fast := NewDevice(scaledSpec(base, base.Name, 1, 2))
+	slow.NoiseSigma = 0
+	fast.NoiseSigma = 0
+
+	task, err := workload.TaskByIndex(workload.VGG16, 1) // early conv: memory-heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(1)
+	checked := 0
+	for i := 0; i < 400 && checked < 100; i++ {
+		idx := sp.RandomIndex(g)
+		a := slow.MeasureIndex(task, sp, idx)
+		b := fast.MeasureIndex(task, sp, idx)
+		if !a.Valid || !b.Valid {
+			continue
+		}
+		checked++
+		if b.TimeMS > a.TimeMS*1.0001 {
+			t.Fatalf("double bandwidth slowed config %d: %g → %g ms", idx, a.TimeMS, b.TimeMS)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d configs checked", checked)
+	}
+}
+
+// TestMoreComputeNeverSlower mirrors the bandwidth property for peak
+// FLOPS + SM count.
+func TestMoreComputeNeverSlower(t *testing.T) {
+	base := hwspec.MustByName(hwspec.RTX2080Ti)
+	slow := NewDevice(scaledSpec(base, base.Name, 1, 1))
+	fast := NewDevice(scaledSpec(base, base.Name, 2, 1))
+	slow.NoiseSigma = 0
+	fast.NoiseSigma = 0
+
+	task, err := workload.TaskByIndex(workload.VGG16, 8) // 512→512: compute-heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(2)
+	checked := 0
+	for i := 0; i < 400 && checked < 100; i++ {
+		idx := sp.RandomIndex(g)
+		a := slow.MeasureIndex(task, sp, idx)
+		b := fast.MeasureIndex(task, sp, idx)
+		if !a.Valid || !b.Valid {
+			continue
+		}
+		checked++
+		if b.TimeMS > a.TimeMS*1.0001 {
+			t.Fatalf("double compute slowed config %d: %g → %g ms", idx, a.TimeMS, b.TimeMS)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d configs checked", checked)
+	}
+}
+
+// TestLargerSharedMemoryAcceptsMore: raising the per-block shared-memory
+// limit only widens the valid set.
+func TestLargerSharedMemoryAcceptsMore(t *testing.T) {
+	base := hwspec.MustByName(hwspec.TitanXp) // 48 KB/block
+	big := base
+	big.MaxSmemPerBlockKB = 96
+	small, large := NewDevice(base), NewDevice(big)
+
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(3)
+	widened := 0
+	for i := 0; i < 2000; i++ {
+		idx := sp.RandomIndex(g)
+		res, err := space.Derive(task, sp, sp.FromIndex(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		okSmall, _ := small.CheckValid(res)
+		okLarge, _ := large.CheckValid(res)
+		if okSmall && !okLarge {
+			t.Fatalf("larger smem limit rejected a config the smaller accepted")
+		}
+		if okLarge && !okSmall {
+			widened++
+		}
+	}
+	if widened == 0 {
+		t.Fatal("doubling the smem limit admitted no extra configs")
+	}
+}
+
+// TestMeasurementCostCoversCompileAndRun: every valid measurement costs at
+// least the compile floor, and longer kernels cost more to measure.
+func TestMeasurementCostCoversCompileAndRun(t *testing.T) {
+	d := NewDevice(hwspec.MustByName(hwspec.RTX3090))
+	d.NoiseSigma = 0
+	task, err := workload.TaskByIndex(workload.VGG16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(4)
+	checked := 0
+	for i := 0; i < 500 && checked < 80; i++ {
+		r := d.MeasureIndex(task, sp, sp.RandomIndex(g))
+		if !r.Valid {
+			continue
+		}
+		checked++
+		if r.CostSec < 2.0 {
+			t.Fatalf("measurement cost %g below the compile floor", r.CostSec)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no valid measurements")
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// ExtractTasks performs TVM-style tuning-task extraction from a graph:
+// every convolution and dense node maps to a template task; same-shape
+// layers collapse into one task with a repeat count; stride-1 spatial
+// convolutions additionally get a Winograd variant. The output order is
+// Table 1's: direct conv2d tasks (first-appearance order), winograd
+// variants, then dense layers — and it must match workload.Tasks for the
+// built-in models (pinned by tests).
+func ExtractTasks(g *Graph) ([]workload.Task, error) {
+	type convKey struct {
+		shape workload.ConvShape
+	}
+	type denseKey struct {
+		shape workload.DenseShape
+	}
+	var convOrder []workload.ConvShape
+	convRepeats := map[convKey]int{}
+	var denseOrder []workload.DenseShape
+	denseRepeats := map[denseKey]int{}
+
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case OpConv2D:
+			if len(n.Inputs) != 1 {
+				return nil, fmt.Errorf("graph: conv %q has %d inputs", n.Name, len(n.Inputs))
+			}
+			in := g.Nodes[n.Inputs[0]].Out
+			shape := workload.ConvShape{
+				Batch: in.N, InC: in.C, OutC: n.Conv.OutC,
+				H: in.H, W: in.W,
+				Kernel: n.Conv.Kernel, Stride: n.Conv.Stride, Pad: n.Conv.Pad,
+			}
+			k := convKey{shape}
+			if convRepeats[k] == 0 {
+				convOrder = append(convOrder, shape)
+			}
+			convRepeats[k]++
+		case OpDense:
+			in := g.Nodes[n.Inputs[0]].Out
+			shape := workload.DenseShape{Batch: in.N, In: in.C, Out: n.Dense.Out}
+			k := denseKey{shape}
+			if denseRepeats[k] == 0 {
+				denseOrder = append(denseOrder, shape)
+			}
+			denseRepeats[k]++
+		}
+	}
+	if len(convOrder) == 0 && len(denseOrder) == 0 {
+		return nil, fmt.Errorf("graph: %s has no tunable operators", g.Name)
+	}
+
+	var tasks []workload.Task
+	idx := 1
+	for _, shape := range convOrder {
+		tasks = append(tasks, workload.Task{
+			Model: g.Name, Index: idx, Kind: workload.Conv2D,
+			Conv: shape, Repeats: convRepeats[convKey{shape}],
+		})
+		idx++
+	}
+	for _, shape := range convOrder {
+		if winogradApplicable(shape) {
+			tasks = append(tasks, workload.Task{
+				Model: g.Name, Index: idx, Kind: workload.WinogradConv2D,
+				Conv: shape, Repeats: convRepeats[convKey{shape}],
+			})
+			idx++
+		}
+	}
+	for _, shape := range denseOrder {
+		tasks = append(tasks, workload.Task{
+			Model: g.Name, Index: idx, Kind: workload.Dense,
+			Dense: shape, Repeats: denseRepeats[denseKey{shape}],
+		})
+		idx++
+	}
+	return tasks, nil
+}
+
+// winogradApplicable mirrors workload's eligibility rule: stride-1 spatial
+// kernels can use the Winograd template.
+func winogradApplicable(c workload.ConvShape) bool {
+	return c.Stride == 1 && c.Kernel >= 3
+}
+
+// ModelFLOPs sums the per-inference FLOPs of a graph's tunable operators
+// (repeats included — this is the whole network, unlike the per-unique-
+// task sum in workload.ModelFLOPs).
+func ModelFLOPs(g *Graph) (int64, error) {
+	tasks, err := ExtractTasks(g)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, t := range tasks {
+		if t.Kind == workload.WinogradConv2D {
+			continue // alternative template for the same layer
+		}
+		total += t.FLOPs() * int64(t.Repeats)
+	}
+	return total, nil
+}

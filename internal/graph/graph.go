@@ -1,0 +1,336 @@
+// Package graph is the model front end: a small operator-graph
+// representation of DNNs (the "DNN Model" box of the paper's Fig. 2), with
+// shape inference, topological traversal, and tuning-task extraction. The
+// three evaluation networks are built as real graphs here; internal/
+// workload's task tables are the verified output of this extraction (the
+// tests pin them to each other and to Table 1).
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind enumerates supported operators.
+type OpKind int
+
+const (
+	// OpInput is a graph input placeholder.
+	OpInput OpKind = iota
+	// OpConv2D is a 2-D convolution (NCHW, square kernel).
+	OpConv2D
+	// OpDense is a fully connected layer.
+	OpDense
+	// OpReLU is an elementwise rectifier.
+	OpReLU
+	// OpMaxPool is max pooling.
+	OpMaxPool
+	// OpAvgPool is (global or windowed) average pooling.
+	OpAvgPool
+	// OpAdd is an elementwise residual addition.
+	OpAdd
+	// OpBatchNorm is batch normalization (inference form).
+	OpBatchNorm
+	// OpFlatten reshapes NCHW to a vector.
+	OpFlatten
+	// OpSoftmax is the classifier head activation.
+	OpSoftmax
+	// OpLRN is local response normalization (AlexNet).
+	OpLRN
+	// OpDropout is inference-time identity (kept for graph fidelity).
+	OpDropout
+)
+
+// String names the operator kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInput:
+		return "input"
+	case OpConv2D:
+		return "conv2d"
+	case OpDense:
+		return "dense"
+	case OpReLU:
+		return "relu"
+	case OpMaxPool:
+		return "max_pool"
+	case OpAvgPool:
+		return "avg_pool"
+	case OpAdd:
+		return "add"
+	case OpBatchNorm:
+		return "batch_norm"
+	case OpFlatten:
+		return "flatten"
+	case OpSoftmax:
+		return "softmax"
+	case OpLRN:
+		return "lrn"
+	case OpDropout:
+		return "dropout"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Shape is an NCHW activation shape; dense activations use {N, C, 1, 1}.
+type Shape struct {
+	N, C, H, W int
+}
+
+// Elems returns the element count.
+func (s Shape) Elems() int64 {
+	return int64(s.N) * int64(s.C) * int64(s.H) * int64(s.W)
+}
+
+// String renders the shape.
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", s.N, s.C, s.H, s.W)
+}
+
+// ConvAttrs parameterize OpConv2D.
+type ConvAttrs struct {
+	OutC, Kernel, Stride, Pad int
+}
+
+// PoolAttrs parameterize pooling operators. Global pools set Global.
+type PoolAttrs struct {
+	Kernel, Stride, Pad int
+	Global              bool
+}
+
+// DenseAttrs parameterize OpDense.
+type DenseAttrs struct {
+	Out int
+}
+
+// Node is one operator instance.
+type Node struct {
+	ID     int
+	Name   string
+	Kind   OpKind
+	Inputs []int // node IDs
+
+	Conv  ConvAttrs
+	Pool  PoolAttrs
+	Dense DenseAttrs
+
+	// Out is filled by InferShapes.
+	Out Shape
+}
+
+// Graph is a DAG of operators with a single output.
+type Graph struct {
+	Name   string
+	Nodes  []Node
+	Output int
+}
+
+// Builder incrementally constructs a graph.
+type Builder struct {
+	g    Graph
+	next int
+}
+
+// NewBuilder starts a graph.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: Graph{Name: name}}
+}
+
+func (b *Builder) add(n Node) int {
+	n.ID = b.next
+	b.next++
+	b.g.Nodes = append(b.g.Nodes, n)
+	b.g.Output = n.ID
+	return n.ID
+}
+
+// Input adds the graph input.
+func (b *Builder) Input(name string, s Shape) int {
+	id := b.add(Node{Name: name, Kind: OpInput})
+	b.g.Nodes[id].Out = s
+	return id
+}
+
+// Conv2D adds a convolution.
+func (b *Builder) Conv2D(name string, in int, attrs ConvAttrs) int {
+	return b.add(Node{Name: name, Kind: OpConv2D, Inputs: []int{in}, Conv: attrs})
+}
+
+// Dense adds a fully connected layer.
+func (b *Builder) Dense(name string, in, out int) int {
+	return b.add(Node{Name: name, Kind: OpDense, Inputs: []int{in}, Dense: DenseAttrs{Out: out}})
+}
+
+// ReLU adds a rectifier.
+func (b *Builder) ReLU(in int) int {
+	return b.add(Node{Name: "relu", Kind: OpReLU, Inputs: []int{in}})
+}
+
+// MaxPool adds max pooling.
+func (b *Builder) MaxPool(in int, attrs PoolAttrs) int {
+	return b.add(Node{Name: "max_pool", Kind: OpMaxPool, Inputs: []int{in}, Pool: attrs})
+}
+
+// AvgPool adds average pooling.
+func (b *Builder) AvgPool(in int, attrs PoolAttrs) int {
+	return b.add(Node{Name: "avg_pool", Kind: OpAvgPool, Inputs: []int{in}, Pool: attrs})
+}
+
+// Add adds a residual addition.
+func (b *Builder) Add(a, c int) int {
+	return b.add(Node{Name: "add", Kind: OpAdd, Inputs: []int{a, c}})
+}
+
+// BatchNorm adds batch normalization.
+func (b *Builder) BatchNorm(in int) int {
+	return b.add(Node{Name: "batch_norm", Kind: OpBatchNorm, Inputs: []int{in}})
+}
+
+// Flatten adds a reshape to vector.
+func (b *Builder) Flatten(in int) int {
+	return b.add(Node{Name: "flatten", Kind: OpFlatten, Inputs: []int{in}})
+}
+
+// Softmax adds the classifier activation.
+func (b *Builder) Softmax(in int) int {
+	return b.add(Node{Name: "softmax", Kind: OpSoftmax, Inputs: []int{in}})
+}
+
+// LRN adds local response normalization.
+func (b *Builder) LRN(in int) int {
+	return b.add(Node{Name: "lrn", Kind: OpLRN, Inputs: []int{in}})
+}
+
+// Dropout adds an inference-time identity dropout marker.
+func (b *Builder) Dropout(in int) int {
+	return b.add(Node{Name: "dropout", Kind: OpDropout, Inputs: []int{in}})
+}
+
+// Build finalizes the graph and runs shape inference.
+func (b *Builder) Build() (*Graph, error) {
+	g := b.g
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// InferShapes computes every node's output shape, validating operand
+// compatibility along the way.
+func (g *Graph) InferShapes() error {
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		in := func(k int) (Shape, error) {
+			if k >= len(n.Inputs) {
+				return Shape{}, fmt.Errorf("graph: %s#%d missing input %d", n.Kind, n.ID, k)
+			}
+			id := n.Inputs[k]
+			if id < 0 || id >= i {
+				if id >= i {
+					return Shape{}, fmt.Errorf("graph: %s#%d references later node %d", n.Kind, n.ID, id)
+				}
+				return Shape{}, fmt.Errorf("graph: %s#%d bad input id %d", n.Kind, n.ID, id)
+			}
+			return g.Nodes[id].Out, nil
+		}
+		switch n.Kind {
+		case OpInput:
+			if n.Out.Elems() <= 0 {
+				return fmt.Errorf("graph: input %q without shape", n.Name)
+			}
+		case OpConv2D:
+			s, err := in(0)
+			if err != nil {
+				return err
+			}
+			a := n.Conv
+			if a.Kernel <= 0 || a.Stride <= 0 || a.OutC <= 0 {
+				return fmt.Errorf("graph: conv %q bad attrs %+v", n.Name, a)
+			}
+			oh := (s.H+2*a.Pad-a.Kernel)/a.Stride + 1
+			ow := (s.W+2*a.Pad-a.Kernel)/a.Stride + 1
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("graph: conv %q output %dx%d from input %v", n.Name, oh, ow, s)
+			}
+			n.Out = Shape{N: s.N, C: a.OutC, H: oh, W: ow}
+		case OpDense:
+			s, err := in(0)
+			if err != nil {
+				return err
+			}
+			if s.H != 1 || s.W != 1 {
+				return fmt.Errorf("graph: dense %q needs flattened input, got %v", n.Name, s)
+			}
+			n.Out = Shape{N: s.N, C: n.Dense.Out, H: 1, W: 1}
+		case OpReLU, OpBatchNorm, OpSoftmax, OpLRN, OpDropout:
+			s, err := in(0)
+			if err != nil {
+				return err
+			}
+			n.Out = s
+		case OpMaxPool, OpAvgPool:
+			s, err := in(0)
+			if err != nil {
+				return err
+			}
+			a := n.Pool
+			if a.Global {
+				n.Out = Shape{N: s.N, C: s.C, H: 1, W: 1}
+				break
+			}
+			if a.Kernel <= 0 || a.Stride <= 0 {
+				return fmt.Errorf("graph: pool %q bad attrs %+v", n.Name, a)
+			}
+			oh := (s.H+2*a.Pad-a.Kernel)/a.Stride + 1
+			ow := (s.W+2*a.Pad-a.Kernel)/a.Stride + 1
+			if oh <= 0 || ow <= 0 {
+				return fmt.Errorf("graph: pool %q output %dx%d", n.Name, oh, ow)
+			}
+			n.Out = Shape{N: s.N, C: s.C, H: oh, W: ow}
+		case OpAdd:
+			a, err := in(0)
+			if err != nil {
+				return err
+			}
+			c, err := in(1)
+			if err != nil {
+				return err
+			}
+			if a != c {
+				return fmt.Errorf("graph: add %q operand shapes %v vs %v", n.Name, a, c)
+			}
+			n.Out = a
+		case OpFlatten:
+			s, err := in(0)
+			if err != nil {
+				return err
+			}
+			n.Out = Shape{N: s.N, C: s.C * s.H * s.W, H: 1, W: 1}
+		default:
+			return fmt.Errorf("graph: unknown op %v", n.Kind)
+		}
+	}
+	return nil
+}
+
+// NumOps counts nodes of a kind.
+func (g *Graph) NumOps(kind OpKind) int {
+	c := 0
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the graph one op per line.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s:\n", g.Name)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "  %%%-3d %-10s %-12s -> %s %v\n", n.ID, n.Name, n.Kind, n.Out, n.Inputs)
+	}
+	return sb.String()
+}

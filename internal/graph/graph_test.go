@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func TestShapeInferenceBasics(t *testing.T) {
+	b := NewBuilder("toy")
+	x := b.Input("data", Shape{N: 1, C: 3, H: 8, W: 8})
+	x = b.Conv2D("c1", x, ConvAttrs{OutC: 16, Kernel: 3, Stride: 1, Pad: 1})
+	x = b.ReLU(x)
+	x = b.MaxPool(x, PoolAttrs{Kernel: 2, Stride: 2})
+	x = b.Flatten(x)
+	x = b.Dense("fc", x, 10)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Shape{
+		{1, 3, 8, 8}, {1, 16, 8, 8}, {1, 16, 8, 8}, {1, 16, 4, 4}, {1, 256, 1, 1}, {1, 10, 1, 1},
+	}
+	for i, w := range want {
+		if g.Nodes[i].Out != w {
+			t.Fatalf("node %d shape %v want %v", i, g.Nodes[i].Out, w)
+		}
+	}
+}
+
+func TestShapeInferenceErrors(t *testing.T) {
+	// Dense on unflattened input.
+	b := NewBuilder("bad")
+	x := b.Input("data", Shape{N: 1, C: 3, H: 8, W: 8})
+	b.Dense("fc", x, 10)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("dense on 4-D input accepted")
+	}
+	// Mismatched residual add.
+	b2 := NewBuilder("bad2")
+	x = b2.Input("data", Shape{N: 1, C: 3, H: 8, W: 8})
+	y := b2.Conv2D("c", x, ConvAttrs{OutC: 8, Kernel: 3, Stride: 1, Pad: 1})
+	b2.Add(x, y)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("mismatched add accepted")
+	}
+	// Conv collapsing to non-positive output.
+	b3 := NewBuilder("bad3")
+	x = b3.Input("data", Shape{N: 1, C: 3, H: 2, W: 2})
+	b3.Conv2D("c", x, ConvAttrs{OutC: 8, Kernel: 5, Stride: 1, Pad: 0})
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("underflowing conv accepted")
+	}
+}
+
+func TestBuildModelUnknown(t *testing.T) {
+	if _, err := BuildModel("lenet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestExtractionMatchesWorkloadTables is the load-bearing check: task
+// extraction from the real graphs reproduces the hand-audited tables in
+// internal/workload exactly (shapes, order, kinds, and repeat counts).
+func TestExtractionMatchesWorkloadTables(t *testing.T) {
+	for _, model := range workload.Models {
+		g, err := BuildModel(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExtractTasks(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := workload.MustTasks(model)
+		if len(got) != len(want) {
+			t.Fatalf("%s: extracted %d tasks want %d", model, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s task %d:\n  graph:    %+v\n  workload: %+v", model, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGraphOpCensus(t *testing.T) {
+	cases := []struct {
+		model       string
+		convs, fcs  int
+		adds, pools int
+	}{
+		{"alexnet", 5, 3, 0, 3},
+		{"vgg-16", 13, 3, 0, 5},
+		{"resnet-18", 21, 1, 8, 1}, // 1 stem + 16 block convs + 4 projections
+	}
+	for _, c := range cases {
+		g, err := BuildModel(c.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.NumOps(OpConv2D); got != c.convs {
+			t.Errorf("%s convs = %d want %d", c.model, got, c.convs)
+		}
+		if got := g.NumOps(OpDense); got != c.fcs {
+			t.Errorf("%s dense = %d want %d", c.model, got, c.fcs)
+		}
+		if got := g.NumOps(OpAdd); got != c.adds {
+			t.Errorf("%s adds = %d want %d", c.model, got, c.adds)
+		}
+		if got := g.NumOps(OpMaxPool); got != c.pools {
+			t.Errorf("%s max pools = %d want %d", c.model, got, c.pools)
+		}
+	}
+}
+
+func TestResNetClassifierShape(t *testing.T) {
+	g, err := BuildResNet18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Nodes[g.Output].Out
+	if out != (Shape{N: 1, C: 1000, H: 1, W: 1}) {
+		t.Fatalf("output shape %v", out)
+	}
+}
+
+func TestVGGFlattenFeeds25088(t *testing.T) {
+	g, err := BuildVGG16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == OpDense && n.Name == "fc6" {
+			in := g.Nodes[n.Inputs[0]].Out
+			if in.C != 25088 {
+				t.Fatalf("fc6 input C = %d want 25088", in.C)
+			}
+			return
+		}
+	}
+	t.Fatal("fc6 not found")
+}
+
+func TestModelFLOPsWholeNetwork(t *testing.T) {
+	// Whole-network FLOPs (with layer repeats) are the published ballpark:
+	// AlexNet ≈1.4G, ResNet-18 ≈3.6G, VGG-16 ≈31G (conv+fc MACs ×2).
+	cases := []struct {
+		model  string
+		lo, hi float64 // GFLOP bounds
+	}{
+		{"alexnet", 1.0, 2.2},
+		{"resnet-18", 3.0, 4.5},
+		{"vgg-16", 28, 34},
+	}
+	for _, c := range cases {
+		g, err := BuildModel(c.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ModelFLOPs(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf := float64(f) / 1e9
+		if gf < c.lo || gf > c.hi {
+			t.Errorf("%s FLOPs = %.2f GF want in [%g, %g]", c.model, gf, c.lo, c.hi)
+		}
+	}
+}
+
+func TestExtractNoTunableOps(t *testing.T) {
+	b := NewBuilder("empty")
+	x := b.Input("data", Shape{N: 1, C: 3, H: 4, W: 4})
+	b.ReLU(x)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractTasks(g); err == nil {
+		t.Fatal("graph without tunable ops accepted")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g, err := BuildAlexNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	for _, frag := range []string{"alexnet", "conv1", "dense", "softmax"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "fmt"
+
+// BuildModel constructs one of the evaluation networks by name.
+func BuildModel(name string) (*Graph, error) {
+	switch name {
+	case "alexnet":
+		return BuildAlexNet()
+	case "resnet-18":
+		return BuildResNet18()
+	case "vgg-16":
+		return BuildVGG16()
+	default:
+		return nil, fmt.Errorf("graph: unknown model %q", name)
+	}
+}
+
+// BuildAlexNet constructs AlexNet (Krizhevsky et al., 2012) for ImageNet
+// inference at batch 1 (227×227 input, pad-free first conv).
+func BuildAlexNet() (*Graph, error) {
+	b := NewBuilder("alexnet")
+	x := b.Input("data", Shape{N: 1, C: 3, H: 227, W: 227})
+
+	x = b.Conv2D("conv1", x, ConvAttrs{OutC: 64, Kernel: 11, Stride: 4, Pad: 0})
+	x = b.ReLU(x)
+	x = b.LRN(x)
+	x = b.MaxPool(x, PoolAttrs{Kernel: 3, Stride: 2})
+
+	x = b.Conv2D("conv2", x, ConvAttrs{OutC: 192, Kernel: 5, Stride: 1, Pad: 2})
+	x = b.ReLU(x)
+	x = b.LRN(x)
+	x = b.MaxPool(x, PoolAttrs{Kernel: 3, Stride: 2})
+
+	x = b.Conv2D("conv3", x, ConvAttrs{OutC: 384, Kernel: 3, Stride: 1, Pad: 1})
+	x = b.ReLU(x)
+	x = b.Conv2D("conv4", x, ConvAttrs{OutC: 256, Kernel: 3, Stride: 1, Pad: 1})
+	x = b.ReLU(x)
+	x = b.Conv2D("conv5", x, ConvAttrs{OutC: 256, Kernel: 3, Stride: 1, Pad: 1})
+	x = b.ReLU(x)
+	x = b.MaxPool(x, PoolAttrs{Kernel: 3, Stride: 2})
+
+	x = b.Flatten(x)
+	x = b.Dropout(x)
+	x = b.Dense("fc6", x, 4096)
+	x = b.ReLU(x)
+	x = b.Dropout(x)
+	x = b.Dense("fc7", x, 4096)
+	x = b.ReLU(x)
+	x = b.Dense("fc8", x, 1000)
+	x = b.Softmax(x)
+	_ = x
+	return b.Build()
+}
+
+// BuildVGG16 constructs VGG-16 (Simonyan & Zisserman, 2015) at batch 1.
+func BuildVGG16() (*Graph, error) {
+	b := NewBuilder("vgg-16")
+	x := b.Input("data", Shape{N: 1, C: 3, H: 224, W: 224})
+
+	block := func(x int, outC, convs int, stage int) int {
+		for i := 1; i <= convs; i++ {
+			x = b.Conv2D(fmt.Sprintf("conv%d_%d", stage, i), x,
+				ConvAttrs{OutC: outC, Kernel: 3, Stride: 1, Pad: 1})
+			x = b.ReLU(x)
+		}
+		return b.MaxPool(x, PoolAttrs{Kernel: 2, Stride: 2})
+	}
+	x = block(x, 64, 2, 1)
+	x = block(x, 128, 2, 2)
+	x = block(x, 256, 3, 3)
+	x = block(x, 512, 3, 4)
+	x = block(x, 512, 3, 5)
+
+	x = b.Flatten(x)
+	x = b.Dense("fc6", x, 4096)
+	x = b.ReLU(x)
+	x = b.Dropout(x)
+	x = b.Dense("fc7", x, 4096)
+	x = b.ReLU(x)
+	x = b.Dropout(x)
+	x = b.Dense("fc8", x, 1000)
+	x = b.Softmax(x)
+	_ = x
+	return b.Build()
+}
+
+// BuildResNet18 constructs ResNet-18 (He et al., 2016) at batch 1, in the
+// projection-shortcut variant where every stage's first block carries a
+// 1×1 projection (so the residual add is always against a convolution —
+// this is the variant whose task extraction matches Table 1's 12 conv2d
+// tasks).
+func BuildResNet18() (*Graph, error) {
+	b := NewBuilder("resnet-18")
+	x := b.Input("data", Shape{N: 1, C: 3, H: 224, W: 224})
+
+	x = b.Conv2D("conv1", x, ConvAttrs{OutC: 64, Kernel: 7, Stride: 2, Pad: 3})
+	x = b.BatchNorm(x)
+	x = b.ReLU(x)
+	x = b.MaxPool(x, PoolAttrs{Kernel: 3, Stride: 2, Pad: 1})
+
+	// basicBlock adds a 2-conv residual block. The first block of a stage
+	// strides and projects; later blocks use identity shortcuts.
+	basicBlock := func(x, outC, stride, stage, idx int) int {
+		name := func(part string) string {
+			return fmt.Sprintf("layer%d.%d.%s", stage, idx, part)
+		}
+		main := b.Conv2D(name("conv1"), x, ConvAttrs{OutC: outC, Kernel: 3, Stride: stride, Pad: 1})
+		main = b.BatchNorm(main)
+		main = b.ReLU(main)
+		main = b.Conv2D(name("conv2"), main, ConvAttrs{OutC: outC, Kernel: 3, Stride: 1, Pad: 1})
+		main = b.BatchNorm(main)
+		short := x
+		if idx == 0 {
+			short = b.Conv2D(name("downsample"), x, ConvAttrs{OutC: outC, Kernel: 1, Stride: stride, Pad: 0})
+			short = b.BatchNorm(short)
+		}
+		sum := b.Add(main, short)
+		return b.ReLU(sum)
+	}
+	stage := func(x, outC, stride, stageNo int) int {
+		x = basicBlock(x, outC, stride, stageNo, 0)
+		return basicBlock(x, outC, 1, stageNo, 1)
+	}
+	x = stage(x, 64, 1, 1)
+	x = stage(x, 128, 2, 2)
+	x = stage(x, 256, 2, 3)
+	x = stage(x, 512, 2, 4)
+
+	x = b.AvgPool(x, PoolAttrs{Global: true})
+	x = b.Flatten(x)
+	x = b.Dense("fc", x, 1000)
+	x = b.Softmax(x)
+	_ = x
+	return b.Build()
+}

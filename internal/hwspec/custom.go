@@ -1,0 +1,63 @@
+package hwspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// customMu guards runtime registry extensions.
+var customMu sync.Mutex
+
+// Validate checks a spec for the fields everything downstream relies on.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("hwspec: spec without name")
+	case s.SMCount <= 0 || s.CoresPerSM <= 0:
+		return fmt.Errorf("hwspec: %s: non-positive processor counts", s.Name)
+	case s.BaseClockMHz <= 0 || s.BoostClockMHz < s.BaseClockMHz:
+		return fmt.Errorf("hwspec: %s: implausible clocks %d/%d", s.Name, s.BaseClockMHz, s.BoostClockMHz)
+	case s.MemBWGBs <= 0 || s.MemBusWidthBits <= 0 || s.MemoryGB <= 0:
+		return fmt.Errorf("hwspec: %s: implausible memory system", s.Name)
+	case s.L2CacheKB <= 0 || s.SharedMemPerSMKB <= 0 || s.MaxSmemPerBlockKB <= 0:
+		return fmt.Errorf("hwspec: %s: implausible cache hierarchy", s.Name)
+	case s.RegsPerSM <= 0 || s.MaxThreadsPerSM <= 0 || s.MaxThreadsPerBlock <= 0:
+		return fmt.Errorf("hwspec: %s: implausible execution limits", s.Name)
+	case s.WarpSize <= 0:
+		return fmt.Errorf("hwspec: %s: warp size %d", s.Name, s.WarpSize)
+	case s.PeakGFLOPS <= 0:
+		return fmt.Errorf("hwspec: %s: peak %g GFLOPS", s.Name, s.PeakGFLOPS)
+	}
+	return nil
+}
+
+// Register adds a custom GPU spec to the registry at runtime — how a
+// deployment onboards hardware that shipped after this binary (the whole
+// point of datasheet-driven tuning). Names must be unique.
+func Register(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	customMu.Lock()
+	defer customMu.Unlock()
+	for _, existing := range registry {
+		if existing.Name == s.Name {
+			return fmt.Errorf("hwspec: GPU %q already registered", s.Name)
+		}
+	}
+	registry = append(registry, s)
+	return nil
+}
+
+// ParseSpec decodes a datasheet from JSON and validates it.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("hwspec: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

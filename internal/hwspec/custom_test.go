@@ -1,0 +1,96 @@
+package hwspec
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// futureGPU is a plausible next-generation datasheet for the tests.
+func futureGPU(name string) Spec {
+	s := ampere(Spec{Name: name, SMCount: 128, CoresPerSM: 128,
+		BaseClockMHz: 1800, BoostClockMHz: 2400,
+		MemBWGBs: 1500, MemBusWidthBits: 384, MemoryGB: 32, L2CacheKB: 65536,
+		PeakGFLOPS: 2 * 128 * 128 * 2.4, TDPWatts: 450})
+	return s
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	good := futureGPU("rtx-test")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.SMCount = 0 },
+		func(s *Spec) { s.BoostClockMHz = s.BaseClockMHz - 1 },
+		func(s *Spec) { s.MemBWGBs = 0 },
+		func(s *Spec) { s.L2CacheKB = 0 },
+		func(s *Spec) { s.RegsPerSM = 0 },
+		func(s *Spec) { s.WarpSize = 0 },
+		func(s *Spec) { s.PeakGFLOPS = 0 },
+	}
+	for i, mutate := range mutations {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRegisterAndUse(t *testing.T) {
+	s := futureGPU("rtx-custom-for-test")
+	if err := Register(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ByName(s.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SMCount != 128 {
+		t.Fatalf("registered spec mangled: %+v", got)
+	}
+	// Duplicate names rejected.
+	if err := Register(s); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	// Registered GPUs participate in the training pool.
+	found := false
+	for _, p := range TrainingPool("titan-xp") {
+		if p.Name == s.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom GPU missing from training pool")
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	bad := futureGPU("rtx-bad")
+	bad.PeakGFLOPS = -1
+	if err := Register(bad); err == nil {
+		t.Fatal("invalid spec registered")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s := futureGPU("rtx-json")
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v vs %+v", got, s)
+	}
+	if _, err := ParseSpec([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"Name":"x"}`)); err == nil {
+		t.Fatal("incomplete spec accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Package hwspec is the registry of GPU hardware specifications drawn from
+// public data sheets — the raw material of the Blueprint embedding (§3.1 of
+// the paper cites "List of Nvidia graphics processing units"). Each Spec
+// holds the architectural fields a vendor publishes: processor counts,
+// clocks, bus, cache sizes, and peak compute capacity.
+package hwspec
+
+import "fmt"
+
+// Spec is one GPU's public datasheet, plus the per-generation
+// microarchitectural limits CUDA documents (shared memory, registers,
+// thread caps) that launch validity depends on.
+type Spec struct {
+	Name       string
+	Generation string // Pascal, Volta, Turing, Ampere
+	Gencode    string // sm_XX
+
+	SMCount            int
+	CoresPerSM         int
+	BaseClockMHz       int
+	BoostClockMHz      int
+	MemBWGBs           float64
+	MemBusWidthBits    int
+	MemoryGB           int
+	L2CacheKB          int
+	SharedMemPerSMKB   int
+	MaxSmemPerBlockKB  int
+	RegsPerSM          int
+	MaxThreadsPerSM    int
+	MaxThreadsPerBlock int
+	WarpSize           int
+	PeakGFLOPS         float64
+	TDPWatts           int
+	ComputeCapMajor    int
+	ComputeCapMinor    int
+}
+
+// CUDACores returns the total FP32 lane count.
+func (s Spec) CUDACores() int { return s.SMCount * s.CoresPerSM }
+
+// featureNames lists the Blueprint's raw feature dimensions, in order.
+var featureNames = []string{
+	"sm_count", "cores_per_sm", "base_clock_mhz", "boost_clock_mhz",
+	"mem_bw_gbs", "mem_bus_width_bits", "memory_gb", "l2_cache_kb",
+	"shared_mem_per_sm_kb", "max_smem_per_block_kb", "regs_per_sm",
+	"max_threads_per_sm", "max_threads_per_block", "warp_size",
+	"peak_gflops", "tdp_watts", "compute_cap_major", "compute_cap_minor",
+}
+
+// FeatureNames returns the names of the raw datasheet feature vector.
+func FeatureNames() []string { return append([]string(nil), featureNames...) }
+
+// FeatureDim is the length of FeatureVector.
+const FeatureDim = 18
+
+// FeatureVector flattens the spec into the raw numeric vector the Blueprint
+// embedding compresses.
+func (s Spec) FeatureVector() []float64 {
+	return []float64{
+		float64(s.SMCount), float64(s.CoresPerSM), float64(s.BaseClockMHz),
+		float64(s.BoostClockMHz), s.MemBWGBs, float64(s.MemBusWidthBits),
+		float64(s.MemoryGB), float64(s.L2CacheKB), float64(s.SharedMemPerSMKB),
+		float64(s.MaxSmemPerBlockKB), float64(s.RegsPerSM),
+		float64(s.MaxThreadsPerSM), float64(s.MaxThreadsPerBlock),
+		float64(s.WarpSize), s.PeakGFLOPS, float64(s.TDPWatts),
+		float64(s.ComputeCapMajor), float64(s.ComputeCapMinor),
+	}
+}
+
+// pascal, turing, ampere, volta fill the per-generation CUDA limits.
+func pascal(s Spec) Spec {
+	s.Generation, s.Gencode = "Pascal", "sm_61"
+	s.SharedMemPerSMKB, s.MaxSmemPerBlockKB = 96, 48
+	s.RegsPerSM, s.MaxThreadsPerSM, s.MaxThreadsPerBlock, s.WarpSize = 65536, 2048, 1024, 32
+	s.ComputeCapMajor, s.ComputeCapMinor = 6, 1
+	return s
+}
+
+func volta(s Spec) Spec {
+	s.Generation, s.Gencode = "Volta", "sm_70"
+	s.SharedMemPerSMKB, s.MaxSmemPerBlockKB = 96, 96
+	s.RegsPerSM, s.MaxThreadsPerSM, s.MaxThreadsPerBlock, s.WarpSize = 65536, 2048, 1024, 32
+	s.ComputeCapMajor, s.ComputeCapMinor = 7, 0
+	return s
+}
+
+func turing(s Spec) Spec {
+	s.Generation, s.Gencode = "Turing", "sm_75"
+	s.SharedMemPerSMKB, s.MaxSmemPerBlockKB = 64, 64
+	s.RegsPerSM, s.MaxThreadsPerSM, s.MaxThreadsPerBlock, s.WarpSize = 65536, 1024, 1024, 32
+	s.ComputeCapMajor, s.ComputeCapMinor = 7, 5
+	return s
+}
+
+func ampere(s Spec) Spec {
+	s.Generation, s.Gencode = "Ampere", "sm_86"
+	s.SharedMemPerSMKB, s.MaxSmemPerBlockKB = 128, 100
+	s.RegsPerSM, s.MaxThreadsPerSM, s.MaxThreadsPerBlock, s.WarpSize = 65536, 1536, 1024, 32
+	s.ComputeCapMajor, s.ComputeCapMinor = 8, 6
+	return s
+}
+
+// registry holds every GPU we model, targets and training pool alike.
+// Figures follow the public data sheets.
+var registry = []Spec{
+	pascal(Spec{Name: "gtx-1070", SMCount: 15, CoresPerSM: 128, BaseClockMHz: 1506, BoostClockMHz: 1683,
+		MemBWGBs: 256, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 2048, PeakGFLOPS: 6463, TDPWatts: 150}),
+	pascal(Spec{Name: "gtx-1080", SMCount: 20, CoresPerSM: 128, BaseClockMHz: 1607, BoostClockMHz: 1733,
+		MemBWGBs: 320, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 2048, PeakGFLOPS: 8873, TDPWatts: 180}),
+	pascal(Spec{Name: "gtx-1080-ti", SMCount: 28, CoresPerSM: 128, BaseClockMHz: 1480, BoostClockMHz: 1582,
+		MemBWGBs: 484, MemBusWidthBits: 352, MemoryGB: 11, L2CacheKB: 2816, PeakGFLOPS: 11340, TDPWatts: 250}),
+	pascal(Spec{Name: "titan-xp", SMCount: 30, CoresPerSM: 128, BaseClockMHz: 1405, BoostClockMHz: 1582,
+		MemBWGBs: 547, MemBusWidthBits: 384, MemoryGB: 12, L2CacheKB: 3072, PeakGFLOPS: 12150, TDPWatts: 250}),
+	volta(Spec{Name: "titan-v", SMCount: 80, CoresPerSM: 64, BaseClockMHz: 1200, BoostClockMHz: 1455,
+		MemBWGBs: 653, MemBusWidthBits: 3072, MemoryGB: 12, L2CacheKB: 4608, PeakGFLOPS: 13800, TDPWatts: 250}),
+	turing(Spec{Name: "rtx-2060", SMCount: 30, CoresPerSM: 64, BaseClockMHz: 1365, BoostClockMHz: 1680,
+		MemBWGBs: 336, MemBusWidthBits: 192, MemoryGB: 6, L2CacheKB: 3072, PeakGFLOPS: 6451, TDPWatts: 160}),
+	turing(Spec{Name: "rtx-2070", SMCount: 36, CoresPerSM: 64, BaseClockMHz: 1410, BoostClockMHz: 1620,
+		MemBWGBs: 448, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 4096, PeakGFLOPS: 7465, TDPWatts: 175}),
+	turing(Spec{Name: "rtx-2070-super", SMCount: 40, CoresPerSM: 64, BaseClockMHz: 1605, BoostClockMHz: 1770,
+		MemBWGBs: 448, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 4096, PeakGFLOPS: 9062, TDPWatts: 215}),
+	turing(Spec{Name: "rtx-2080", SMCount: 46, CoresPerSM: 64, BaseClockMHz: 1515, BoostClockMHz: 1710,
+		MemBWGBs: 448, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 4096, PeakGFLOPS: 10068, TDPWatts: 215}),
+	turing(Spec{Name: "rtx-2080-super", SMCount: 48, CoresPerSM: 64, BaseClockMHz: 1650, BoostClockMHz: 1815,
+		MemBWGBs: 496, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 4096, PeakGFLOPS: 11151, TDPWatts: 250}),
+	turing(Spec{Name: "rtx-2080-ti", SMCount: 68, CoresPerSM: 64, BaseClockMHz: 1350, BoostClockMHz: 1545,
+		MemBWGBs: 616, MemBusWidthBits: 352, MemoryGB: 11, L2CacheKB: 5632, PeakGFLOPS: 13448, TDPWatts: 250}),
+	turing(Spec{Name: "titan-rtx", SMCount: 72, CoresPerSM: 64, BaseClockMHz: 1350, BoostClockMHz: 1770,
+		MemBWGBs: 672, MemBusWidthBits: 384, MemoryGB: 24, L2CacheKB: 6144, PeakGFLOPS: 16312, TDPWatts: 280}),
+	ampere(Spec{Name: "rtx-3060-ti", SMCount: 38, CoresPerSM: 128, BaseClockMHz: 1410, BoostClockMHz: 1665,
+		MemBWGBs: 448, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 4096, PeakGFLOPS: 16197, TDPWatts: 200}),
+	ampere(Spec{Name: "rtx-3070", SMCount: 46, CoresPerSM: 128, BaseClockMHz: 1500, BoostClockMHz: 1725,
+		MemBWGBs: 448, MemBusWidthBits: 256, MemoryGB: 8, L2CacheKB: 4096, PeakGFLOPS: 20314, TDPWatts: 220}),
+	ampere(Spec{Name: "rtx-3080", SMCount: 68, CoresPerSM: 128, BaseClockMHz: 1440, BoostClockMHz: 1710,
+		MemBWGBs: 760, MemBusWidthBits: 320, MemoryGB: 10, L2CacheKB: 5120, PeakGFLOPS: 29768, TDPWatts: 320}),
+	ampere(Spec{Name: "rtx-3090", SMCount: 82, CoresPerSM: 128, BaseClockMHz: 1395, BoostClockMHz: 1695,
+		MemBWGBs: 936, MemBusWidthBits: 384, MemoryGB: 24, L2CacheKB: 6144, PeakGFLOPS: 35581, TDPWatts: 350}),
+}
+
+// Registry returns a copy of every known GPU spec.
+func Registry() []Spec { return append([]Spec(nil), registry...) }
+
+// ByName returns the spec for a GPU name.
+func ByName(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("hwspec: unknown GPU %q", name)
+}
+
+// MustByName is ByName for known-good names.
+func MustByName(name string) Spec {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Target GPU names used across the paper's evaluation (Table 1).
+const (
+	TitanXp      = "titan-xp"
+	RTX2070Super = "rtx-2070-super"
+	RTX2080Ti    = "rtx-2080-ti"
+	RTX3090      = "rtx-3090"
+)
+
+// Targets lists the four evaluation GPUs in Table 1 order.
+var Targets = []string{TitanXp, RTX2070Super, RTX2080Ti, RTX3090}
+
+// TrainingPool returns every registry GPU except the named target — the
+// leave-target-out protocol the paper uses for transfer learning (Fig. 5)
+// and for training H and the meta-optimizer.
+func TrainingPool(excludeTarget string) []Spec {
+	var out []Spec
+	for _, s := range registry {
+		if s.Name != excludeTarget {
+			out = append(out, s)
+		}
+	}
+	return out
+}

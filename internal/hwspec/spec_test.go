@@ -1,0 +1,122 @@
+package hwspec
+
+import "testing"
+
+func TestRegistryNonEmptyAndUnique(t *testing.T) {
+	specs := Registry()
+	if len(specs) < 12 {
+		t.Fatalf("registry has %d GPUs, want a healthy training pool (≥12)", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate GPU %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestTargetsPresentWithPaperGencodes(t *testing.T) {
+	want := map[string]string{
+		TitanXp:      "sm_61",
+		RTX2070Super: "sm_75",
+		RTX2080Ti:    "sm_75",
+		RTX3090:      "sm_86",
+	}
+	if len(Targets) != 4 {
+		t.Fatalf("Targets = %v", Targets)
+	}
+	for name, gencode := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Gencode != gencode {
+			t.Errorf("%s gencode = %s want %s (Table 1)", name, s.Gencode, gencode)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("rtx-9090"); err == nil {
+		t.Fatal("unknown GPU accepted")
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != FeatureDim {
+		t.Fatalf("FeatureNames len = %d want %d", len(names), FeatureDim)
+	}
+	for _, s := range Registry() {
+		v := s.FeatureVector()
+		if len(v) != FeatureDim {
+			t.Fatalf("%s feature vector len = %d want %d", s.Name, len(v), FeatureDim)
+		}
+		for i, x := range v {
+			if x < 0 {
+				t.Fatalf("%s feature %s = %g want ≥ 0", s.Name, names[i], x)
+			}
+			// All features except the minor compute capability are strictly positive.
+			if x == 0 && names[i] != "compute_cap_minor" {
+				t.Fatalf("%s feature %s = 0", s.Name, names[i])
+			}
+		}
+	}
+}
+
+func TestSpecsPlausible(t *testing.T) {
+	for _, s := range Registry() {
+		if s.BoostClockMHz < s.BaseClockMHz {
+			t.Errorf("%s boost %d < base %d", s.Name, s.BoostClockMHz, s.BaseClockMHz)
+		}
+		if s.MaxThreadsPerBlock != 1024 || s.WarpSize != 32 {
+			t.Errorf("%s CUDA limits off: %d threads/block, warp %d", s.Name, s.MaxThreadsPerBlock, s.WarpSize)
+		}
+		if s.MaxSmemPerBlockKB > s.SharedMemPerSMKB+48 {
+			t.Errorf("%s smem/block %d implausible vs SM %d", s.Name, s.MaxSmemPerBlockKB, s.SharedMemPerSMKB)
+		}
+		// Peak GFLOPS ≈ 2 × cores × boost clock.
+		approx := 2 * float64(s.CUDACores()) * float64(s.BoostClockMHz) / 1000
+		if s.PeakGFLOPS < approx*0.9 || s.PeakGFLOPS > approx*1.1 {
+			t.Errorf("%s peak %g GFLOPS vs 2·cores·clock %g", s.Name, s.PeakGFLOPS, approx)
+		}
+	}
+}
+
+func TestGenerationOrdering(t *testing.T) {
+	// The four targets span three generations — the premise of the paper's
+	// multi-hardware study.
+	gens := map[string]bool{}
+	for _, name := range Targets {
+		gens[MustByName(name).Generation] = true
+	}
+	if len(gens) != 3 {
+		t.Fatalf("targets span %d generations want 3: %v", len(gens), gens)
+	}
+}
+
+func TestTrainingPoolExcludesTarget(t *testing.T) {
+	pool := TrainingPool(TitanXp)
+	if len(pool) != len(Registry())-1 {
+		t.Fatalf("pool size %d want %d", len(pool), len(Registry())-1)
+	}
+	for _, s := range pool {
+		if s.Name == TitanXp {
+			t.Fatal("target leaked into training pool")
+		}
+	}
+	// Excluding nothing returns everything.
+	if got := TrainingPool("none-such"); len(got) != len(Registry()) {
+		t.Fatalf("no-op exclusion size %d", len(got))
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName of unknown GPU did not panic")
+		}
+	}()
+	MustByName("quantum-gpu")
+}

@@ -1,0 +1,163 @@
+// Package integration exercises the full compilation pipeline end to end:
+// model graph → task extraction → configuration space → tuning over RPC
+// measurements → tuning-log persistence → kernel code generation for the
+// winning configuration → static verification against the target GPU.
+package integration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/codegen"
+	"github.com/neuralcompile/glimpse/internal/graph"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tlog"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// TestGraphToBinaryPipeline is the "deployment engineer" path of Fig. 2,
+// minus the offline-trained Glimpse artifacts (covered in internal/core):
+// build the network, extract a task, tune it on remote hardware with
+// logging, then lower and verify the best schedule.
+func TestGraphToBinaryPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	const target = hwspec.RTX2080Ti
+
+	// 1. Front end: build ResNet-18 and extract its tuning tasks.
+	g, err := graph.BuildResNet18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := graph.ExtractTasks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 17 {
+		t.Fatalf("extracted %d tasks want 17 (Table 1)", len(tasks))
+	}
+	task := tasks[6] // L7
+	sp, err := space.ForTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Hardware behind RPC, wrapped with a persistent tuning log.
+	srv, err := measure.NewServer([]string{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := measure.Dial(addr, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	var logBuf bytes.Buffer
+	m := &tlog.RecordingMeasurer{Inner: remote, Out: tlog.NewWriter(&logBuf)}
+
+	// 3. Tune.
+	res, err := tuner.AutoTVM{}.Tune(task, sp, m,
+		tuner.Budget{MaxMeasurements: 96}, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIndex < 0 {
+		t.Fatal("tuning found nothing")
+	}
+
+	// 4. The log agrees with the session and replays into a TL corpus.
+	entries, err := tlog.Read(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != res.Measurements {
+		t.Fatalf("log has %d entries, session measured %d", len(entries), res.Measurements)
+	}
+	best, ok := tlog.Best(entries, task.Name())
+	if !ok || best.ConfigIndex != res.BestIndex {
+		t.Fatalf("log best %+v vs session %d", best, res.BestIndex)
+	}
+	corpus, err := tlog.ToTransferData(entries, workload.Conv2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Features) != res.Measurements {
+		t.Fatalf("corpus %d rows want %d", len(corpus.Features), res.Measurements)
+	}
+
+	// 5. Lower the winning schedule to a kernel and verify it against the
+	// target's launch limits — it measured valid, so it must verify clean.
+	kern, err := codegen.Lower(task, sp, sp.FromIndex(res.BestIndex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := codegen.Verify(kern, hwspec.MustByName(target)); len(errs) != 0 {
+		t.Fatalf("winning schedule fails static verification: %v", errs)
+	}
+	src := kern.Render()
+	if !strings.Contains(src, "__global__") || !strings.Contains(src, "__syncthreads()") {
+		t.Fatalf("kernel source malformed:\n%s", src)
+	}
+
+	// 6. The corpus usefully warm-starts tuning the same task shape on
+	// different hardware (AutoTVM-TL path).
+	other := measure.MustNewLocal(hwspec.TitanXp)
+	tlRes, err := tuner.AutoTVM{Transfer: corpus}.Tune(task, sp, other,
+		tuner.Budget{MaxMeasurements: 48}, rng.New(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlRes.BestGFLOPS <= 0 {
+		t.Fatal("transfer-learning run found nothing")
+	}
+}
+
+// TestEveryTemplateLowersAndVerifies sweeps valid measured configurations
+// of every template kind through codegen: what the simulator accepts, the
+// static verifier must accept too (full cross-component agreement).
+func TestEveryTemplateLowersAndVerifies(t *testing.T) {
+	spec := hwspec.MustByName(hwspec.RTX3090)
+	local := measure.MustNewLocal(hwspec.RTX3090)
+	g := rng.New(13)
+	for _, l := range []int{7, 13, 17} { // conv2d, winograd, dense
+		task, err := workload.TaskByIndex(workload.ResNet18, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := space.MustForTask(task)
+		checked := 0
+		for i := 0; i < 400 && checked < 40; i++ {
+			idx := sp.RandomIndex(g)
+			results, err := local.MeasureBatch(task, sp, []int64{idx})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !results[0].Valid {
+				continue
+			}
+			checked++
+			kern, err := codegen.Lower(task, sp, sp.FromIndex(idx))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs := codegen.Verify(kern, spec); len(errs) != 0 {
+				t.Fatalf("%s: measured-valid config fails verification: %v (%s)",
+					task.Name(), errs, sp.Describe(sp.FromIndex(idx)))
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no valid configs found to check", task.Name())
+		}
+	}
+}

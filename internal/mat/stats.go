@@ -1,0 +1,102 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// ColMeans returns the per-column mean of m.
+func ColMeans(m *Matrix) []float64 {
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.RawRow(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// ColStds returns the per-column population standard deviation of m.
+func ColStds(m *Matrix) []float64 {
+	means := ColMeans(m)
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.RawRow(i)
+		for j, v := range row {
+			d := v - means[j]
+			out[j] += d * d
+		}
+	}
+	inv := 1 / float64(m.rows)
+	for j := range out {
+		out[j] = sqrt(out[j] * inv)
+	}
+	return out
+}
+
+// Center returns a copy of m with per-column means subtracted, plus the means.
+func Center(m *Matrix) (*Matrix, []float64) {
+	means := ColMeans(m)
+	out := m.Clone()
+	for i := 0; i < out.rows; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	return out, means
+}
+
+// Standardize returns a copy of m with columns centred and scaled to unit
+// standard deviation (columns with zero variance are left centred only),
+// plus the means and stds used.
+func Standardize(m *Matrix) (*Matrix, []float64, []float64) {
+	out, means := Center(m)
+	stds := ColStds(m)
+	for i := 0; i < out.rows; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			if stds[j] > 1e-12 {
+				row[j] /= stds[j]
+			}
+		}
+	}
+	return out, means, stds
+}
+
+// Covariance returns the d×d population covariance matrix of the rows of m.
+func Covariance(m *Matrix) *Matrix {
+	if m.rows < 1 {
+		panic("mat: Covariance of empty matrix")
+	}
+	c, _ := Center(m)
+	cov := c.T().Mul(c)
+	cov.ScaleInPlace(1 / float64(m.rows))
+	return cov
+}
+
+// RMSE returns the root-mean-squared error between equal-shape matrices.
+func RMSE(a, b *Matrix) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: RMSE %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	s := 0.0
+	for i, v := range a.data {
+		d := v - b.data[i]
+		s += d * d
+	}
+	return sqrt(s / float64(len(a.data)))
+}
+
+// sqrt is math.Sqrt clamped at zero for tiny negative rounding residue.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

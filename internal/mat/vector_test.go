@@ -1,0 +1,153 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDotNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %g", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %g", got)
+	}
+	if got := Dist2(a, b); got != 27 {
+		t.Fatalf("Dist2 = %g", got)
+	}
+}
+
+func TestDotLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestVecArithmetic(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	if got := AddVec(a, b); got[0] != 4 || got[1] != 7 {
+		t.Fatalf("AddVec = %v", got)
+	}
+	if got := SubVec(b, a); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("SubVec = %v", got)
+	}
+	if got := ScaleVec(2, a); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("ScaleVec = %v", got)
+	}
+	dst := []float64{1, 1}
+	AxpyInto(dst, 2, a)
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Fatalf("AxpyInto = %v", dst)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := Std(v); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Std = %g want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance singleton = %g", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5}
+	if val, at := Min(v); val != 1 || at != 1 {
+		t.Fatalf("Min = %g@%d", val, at)
+	}
+	if val, at := Max(v); val != 5 || at != 4 {
+		t.Fatalf("Max = %g@%d", val, at)
+	}
+}
+
+func TestArgSortDesc(t *testing.T) {
+	v := []float64{0.3, 0.9, 0.1, 0.5}
+	idx := ArgSortDesc(v)
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("ArgSortDesc = %v want %v", idx, want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean = %g want 2", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geomean of non-positive did not panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Fatalf("Clamp high = %g", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Fatalf("Clamp low = %g", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Fatalf("Clamp mid = %g", got)
+	}
+}
+
+func TestCenterStandardize(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 10}, {3, 20}, {5, 30}})
+	c, means := Center(m)
+	if means[0] != 3 || means[1] != 20 {
+		t.Fatalf("means = %v", means)
+	}
+	if got := ColMeans(c); math.Abs(got[0]) > 1e-12 || math.Abs(got[1]) > 1e-12 {
+		t.Fatalf("centered means = %v", got)
+	}
+	s, _, stds := Standardize(m)
+	if stds[0] <= 0 || stds[1] <= 0 {
+		t.Fatalf("stds = %v", stds)
+	}
+	got := ColStds(s)
+	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[1]-1) > 1e-12 {
+		t.Fatalf("standardized stds = %v", got)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated columns.
+	m := NewFromRows([][]float64{{-1, -2}, {0, 0}, {1, 2}})
+	cov := Covariance(m)
+	wantVar0 := 2.0 / 3.0
+	if math.Abs(cov.At(0, 0)-wantVar0) > 1e-12 {
+		t.Fatalf("cov[0,0] = %g want %g", cov.At(0, 0), wantVar0)
+	}
+	if math.Abs(cov.At(0, 1)-2*wantVar0) > 1e-12 {
+		t.Fatalf("cov[0,1] = %g", cov.At(0, 1))
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	a := NewFromRows([][]float64{{0, 0}})
+	b := NewFromRows([][]float64{{3, 4}})
+	want := math.Sqrt(12.5)
+	if got := RMSE(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %g want %g", got, want)
+	}
+}

@@ -1,0 +1,48 @@
+package measure
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// TestRemoteSurvivesServerDeathCleanly: when the measurement server dies
+// mid-session, the client reports an error instead of hanging or
+// panicking, and the tuner propagates it.
+func TestRemoteSurvivesServerDeathCleanly(t *testing.T) {
+	task, sp := setupTask(t)
+	srv, err := NewServer([]string{hwspec.TitanXp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Dial(addr, hwspec.TitanXp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// First batch succeeds.
+	g := rng.New(1)
+	if _, err := remote.MeasureBatch(task, sp, []int64{sp.RandomIndex(g)}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server; the next batch must fail fast with an error.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.MeasureBatch(task, sp, []int64{sp.RandomIndex(g)}); err == nil {
+		t.Fatal("measurement against dead server succeeded")
+	}
+}
+
+// TestDialUnreachableAddress fails fast.
+func TestDialUnreachableAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", hwspec.TitanXp); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,137 @@
+// Package measure provides the measurement plumbing between tuners and
+// (simulated) hardware: a common interface, a local in-process measurer, a
+// net/rpc client/server pair mirroring the paper's "multiple generations of
+// GPUs connected via RPC", and bookkeeping of the GPU time a tuning session
+// consumes.
+package measure
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Measurer runs configurations of one task on one device.
+type Measurer interface {
+	// MeasureBatch measures the configurations at the given flat indices.
+	MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error)
+	// DeviceName identifies the underlying GPU.
+	DeviceName() string
+}
+
+// Local measures on an in-process simulated device.
+type Local struct {
+	dev *gpusim.Device
+}
+
+// NewLocal builds a local measurer for the named GPU.
+func NewLocal(gpuName string) (*Local, error) {
+	spec, err := hwspec.ByName(gpuName)
+	if err != nil {
+		return nil, err
+	}
+	return &Local{dev: gpusim.NewDevice(spec)}, nil
+}
+
+// MustNewLocal is NewLocal for known-good GPU names.
+func MustNewLocal(gpuName string) *Local {
+	l, err := NewLocal(gpuName)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Device exposes the underlying simulated device (for experiments that
+// need oracle access, e.g. exhaustive baselines).
+func (l *Local) Device() *gpusim.Device { return l.dev }
+
+// MeasureBatch measures each index on the simulated device.
+func (l *Local) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	out := make([]gpusim.Result, len(idxs))
+	for i, idx := range idxs {
+		if idx < 0 || idx >= sp.Size() {
+			return nil, fmt.Errorf("measure: index %d out of space [0, %d)", idx, sp.Size())
+		}
+		out[i] = l.dev.MeasureIndex(task, sp, idx)
+	}
+	return out, nil
+}
+
+// DeviceName identifies the GPU.
+func (l *Local) DeviceName() string { return l.dev.Spec.Name }
+
+// Record is one logged measurement.
+type Record struct {
+	ConfigIndex int64
+	Result      gpusim.Result
+}
+
+// Log accumulates measurement history and the simulated GPU-time spent;
+// it is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	gpuSec  float64
+	invalid int
+}
+
+// Append records a batch of measurements.
+func (l *Log) Append(idxs []int64, results []gpusim.Result) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, r := range results {
+		l.records = append(l.records, Record{ConfigIndex: idxs[i], Result: r})
+		l.gpuSec += r.CostSec
+		if !r.Valid {
+			l.invalid++
+		}
+	}
+}
+
+// Len returns the number of measurements logged.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// GPUSeconds returns the cumulative simulated measurement wall-clock.
+func (l *Log) GPUSeconds() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gpuSec
+}
+
+// InvalidCount returns how many logged measurements were invalid.
+func (l *Log) InvalidCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.invalid
+}
+
+// Best returns the best valid measurement logged, or ok=false.
+func (l *Log) Best() (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	best := Record{}
+	found := false
+	for _, r := range l.records {
+		if r.Result.Valid && (!found || r.Result.GFLOPS > best.Result.GFLOPS) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Records returns a copy of the measurement history.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}

@@ -1,0 +1,187 @@
+package measure
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// MeasureArgs is the RPC request: a task identified by (model, 1-based
+// index) plus the configuration indices to run on the named device.
+type MeasureArgs struct {
+	Device    string
+	Model     string
+	TaskIndex int
+	Indices   []int64
+}
+
+// MeasureReply carries the measurement results back.
+type MeasureReply struct {
+	Results []gpusim.Result
+}
+
+// ListReply names the devices a measurement server hosts.
+type ListReply struct {
+	Devices []string
+}
+
+// Server hosts simulated GPUs behind net/rpc, standing in for the paper's
+// RPC-attached measurement boards.
+type Server struct {
+	mu      sync.Mutex
+	devices map[string]*gpusim.Device
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+}
+
+// NewServer builds a server hosting the named GPUs.
+func NewServer(gpuNames []string) (*Server, error) {
+	s := &Server{devices: make(map[string]*gpusim.Device, len(gpuNames))}
+	for _, name := range gpuNames {
+		spec, err := hwspec.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		s.devices[name] = gpusim.NewDevice(spec)
+	}
+	return s, nil
+}
+
+// Measure is the RPC method: it resolves the task, rebuilds its space, and
+// measures every requested index.
+func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
+	s.mu.Lock()
+	dev, ok := s.devices[args.Device]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("measure: server does not host device %q", args.Device)
+	}
+	task, err := workload.TaskByIndex(args.Model, args.TaskIndex)
+	if err != nil {
+		return err
+	}
+	sp, err := space.ForTask(task)
+	if err != nil {
+		return err
+	}
+	reply.Results = make([]gpusim.Result, len(args.Indices))
+	for i, idx := range args.Indices {
+		if idx < 0 || idx >= sp.Size() {
+			return fmt.Errorf("measure: index %d out of space [0, %d)", idx, sp.Size())
+		}
+		reply.Results[i] = dev.MeasureIndex(task, sp, idx)
+	}
+	return nil
+}
+
+// List is the RPC method returning hosted device names.
+func (s *Server) List(_ struct{}, reply *ListReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name := range s.devices {
+		reply.Devices = append(reply.Devices, name)
+	}
+	return nil
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and serves until the
+// listener is closed. It returns the bound address.
+func (s *Server) Serve(addr string) (string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Measure", s); err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.conns = make(map[net.Conn]struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.conns == nil { // closed concurrently
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go func() {
+				srv.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and severs every established connection, so
+// in-flight clients see errors instead of a silently half-alive server.
+func (s *Server) Close() error {
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	return err
+}
+
+// Remote is a Measurer backed by a measurement server over net/rpc.
+type Remote struct {
+	client *rpc.Client
+	device string
+}
+
+// Dial connects to a measurement server and binds to one of its devices.
+func Dial(addr, device string) (*Remote, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var listed ListReply
+	if err := client.Call("Measure.List", struct{}{}, &listed); err != nil {
+		client.Close()
+		return nil, err
+	}
+	for _, name := range listed.Devices {
+		if name == device {
+			return &Remote{client: client, device: device}, nil
+		}
+	}
+	client.Close()
+	return nil, fmt.Errorf("measure: server at %s does not host %q (has %v)", addr, device, listed.Devices)
+}
+
+// MeasureBatch measures remotely.
+func (r *Remote) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	args := MeasureArgs{Device: r.device, Model: task.Model, TaskIndex: task.Index, Indices: idxs}
+	var reply MeasureReply
+	if err := r.client.Call("Measure.Measure", args, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Results, nil
+}
+
+// DeviceName identifies the remote GPU.
+func (r *Remote) DeviceName() string { return r.device }
+
+// Close releases the RPC connection.
+func (r *Remote) Close() error { return r.client.Close() }

@@ -1,0 +1,135 @@
+// Package metrics implements the evaluation arithmetic of the paper:
+// geometric means over (model, GPU) grids, search-time and inference-time
+// reductions relative to AutoTVM, the Hyper-Volume score of Eq. 2, and
+// fixed-width text tables for the experiment reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of strictly positive values; it
+// returns 0 for an empty input.
+func Geomean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: Geomean of non-positive %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(v)))
+}
+
+// Reduction returns the fractional reduction of value versus a baseline:
+// (baseline − value) / baseline. Positive means value improved (shrank).
+func Reduction(baseline, value float64) float64 {
+	if baseline <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive baseline %g", baseline))
+	}
+	return (baseline - value) / baseline
+}
+
+// Speedup returns baseline/value (how many times faster value is).
+func Speedup(baseline, value float64) float64 {
+	if value <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive value %g", value))
+	}
+	return baseline / value
+}
+
+// HyperVolume is Eq. 2 of the paper: Search Reduction × Inference
+// Reduction × 100, with the reductions given as fractions in [0, 1).
+// It summarizes the multi-objective trade-off between compilation speed
+// and output-code quality.
+func HyperVolume(searchReduction, inferenceReduction float64) float64 {
+	return searchReduction * inferenceReduction * 100
+}
+
+// Table renders rows as a fixed-width text table with a header.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates an empty table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, floats
+// render with %.4g, ints with %d.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case int64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Geomean = %g want 4", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %g", got)
+	}
+	// Paper check: geomean of Glimpse's Fig. 9a per-model speedups is 6.73×.
+	if got := Geomean([]float64{5.83, 6.60, 7.92}); math.Abs(got-6.73) > 0.03 {
+		t.Fatalf("Fig9a geomean = %g want ≈6.73", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive input did not panic")
+		}
+	}()
+	Geomean([]float64{1, -1})
+}
+
+func TestReductionAndSpeedup(t *testing.T) {
+	if got := Reduction(10, 2); got != 0.8 {
+		t.Fatalf("Reduction = %g", got)
+	}
+	if got := Speedup(10, 2); got != 5 {
+		t.Fatalf("Speedup = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad baseline did not panic")
+		}
+	}()
+	Reduction(0, 1)
+}
+
+// TestHyperVolumeMatchesTable2 checks Eq. 2 against a Table 2 row:
+// Glimpse on AlexNet — 82.84% search reduction, 6.94% inference reduction,
+// HV 5.7492.
+func TestHyperVolumeMatchesTable2(t *testing.T) {
+	got := HyperVolume(0.8284, 0.0694)
+	if math.Abs(got-5.7491) > 0.01 {
+		t.Fatalf("HV = %g want ≈5.749", got)
+	}
+	// Chameleon AlexNet row: 72.16% × 5.88% = 4.2430.
+	got = HyperVolume(0.7216, 0.0588)
+	if math.Abs(got-4.2430) > 0.01 {
+		t.Fatalf("HV = %g want ≈4.243", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRowf("alpha", 1.5)
+	tb.AddRowf("beta", 42)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows start their second column at the same
+	// offset.
+	if strings.Index(lines[3], "1.5") != strings.Index(lines[4], "42") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRowClipping(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "overflow")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatalf("row not clipped: %v", tb.Rows[0])
+	}
+}

@@ -1,0 +1,155 @@
+// Package nn implements the small feed-forward neural networks Glimpse
+// needs: the HyperNetwork-style prior distribution generator H (§3.1) and
+// the meta-learned neural acquisition function (§3.2). It provides dense
+// layers, standard activations, MSE / softmax-cross-entropy losses, SGD and
+// Adam optimizers, and JSON serialization — all on top of internal/mat.
+//
+// Batches are row-major mat.Matrix values: one sample per row.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/neuralcompile/glimpse/internal/mat"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// and caches whatever it needs; Backward consumes ∂L/∂output and returns
+// ∂L/∂input, accumulating parameter gradients internally.
+type Layer interface {
+	Forward(x *mat.Matrix) *mat.Matrix
+	Backward(grad *mat.Matrix) *mat.Matrix
+	// Params returns parameter/gradient pairs for the optimizer;
+	// activation layers return nil.
+	Params() []Param
+}
+
+// Param couples a parameter matrix with its accumulated gradient.
+type Param struct {
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+}
+
+// Dense is a fully connected layer: y = x·Wᵀ + b.
+type Dense struct {
+	In, Out int
+	W       *mat.Matrix // Out×In
+	B       *mat.Matrix // 1×Out
+	gradW   *mat.Matrix
+	gradB   *mat.Matrix
+	lastX   *mat.Matrix
+}
+
+// NewDense builds a dense layer with Glorot-uniform initial weights.
+func NewDense(in, out int, g *rng.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:     mat.New(out, in),
+		B:     mat.New(1, out),
+		gradW: mat.New(out, in),
+		gradB: mat.New(1, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := 0; i < out; i++ {
+		for j := 0; j < in; j++ {
+			d.W.Set(i, j, (2*g.Float64()-1)*limit)
+		}
+	}
+	return d
+}
+
+// Forward computes x·Wᵀ + b for a batch x (n×In).
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols() != d.In {
+		panic(fmt.Sprintf("nn: Dense forward %d features, want %d", x.Cols(), d.In))
+	}
+	d.lastX = x
+	out := x.Mul(d.W.T())
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] += d.B.At(0, j)
+		}
+	}
+	return out
+}
+
+// Backward accumulates ∂L/∂W and ∂L/∂b and returns ∂L/∂x.
+func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense backward before forward")
+	}
+	d.gradW.AddInPlace(grad.T().Mul(d.lastX))
+	for i := 0; i < grad.Rows(); i++ {
+		row := grad.RawRow(i)
+		for j := range row {
+			d.gradB.Set(0, j, d.gradB.At(0, j)+row[j])
+		}
+	}
+	return grad.Mul(d.W)
+}
+
+// Params exposes the weights and bias to the optimizer.
+func (d *Dense) Params() []Param {
+	return []Param{{d.W, d.gradW}, {d.B, d.gradB}}
+}
+
+// Activation is an elementwise nonlinearity with derivative computed from
+// the cached forward output.
+type Activation struct {
+	Name  string
+	fn    func(float64) float64
+	deriv func(y float64) float64 // derivative expressed in terms of output y
+	lastY *mat.Matrix
+}
+
+// ReLU returns a rectified linear activation layer.
+func ReLU() *Activation {
+	return &Activation{
+		Name: "relu",
+		fn:   func(x float64) float64 { return math.Max(0, x) },
+		deriv: func(y float64) float64 {
+			if y > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// Tanh returns a hyperbolic tangent activation layer.
+func Tanh() *Activation {
+	return &Activation{
+		Name:  "tanh",
+		fn:    math.Tanh,
+		deriv: func(y float64) float64 { return 1 - y*y },
+	}
+}
+
+// Sigmoid returns a logistic activation layer.
+func Sigmoid() *Activation {
+	return &Activation{
+		Name:  "sigmoid",
+		fn:    func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		deriv: func(y float64) float64 { return y * (1 - y) },
+	}
+}
+
+// Forward applies the nonlinearity elementwise.
+func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
+	a.lastY = x.Apply(a.fn)
+	return a.lastY
+}
+
+// Backward scales the upstream gradient by the local derivative.
+func (a *Activation) Backward(grad *mat.Matrix) *mat.Matrix {
+	if a.lastY == nil {
+		panic("nn: Activation backward before forward")
+	}
+	return grad.Hadamard(a.lastY.Apply(a.deriv))
+}
+
+// Params reports no trainable parameters.
+func (a *Activation) Params() []Param { return nil }

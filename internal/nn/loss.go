@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/neuralcompile/glimpse/internal/mat"
+)
+
+// MSELoss returns the mean-squared error over the batch and ∂L/∂pred.
+func MSELoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	pr, pc := pred.Dims()
+	tr, tc := target.Dims()
+	if pr != tr || pc != tc {
+		panic(fmt.Sprintf("nn: MSELoss %dx%d vs %dx%d", pr, pc, tr, tc))
+	}
+	diff := pred.Sub(target)
+	n := float64(pr * pc)
+	loss := 0.0
+	for i := 0; i < pr; i++ {
+		for _, v := range diff.RawRow(i) {
+			loss += v * v
+		}
+	}
+	grad := diff.Scale(2 / n)
+	return loss / n, grad
+}
+
+// Softmax applies a row-wise softmax with max-subtraction for stability.
+func Softmax(logits *mat.Matrix) *mat.Matrix {
+	out := logits.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RawRow(i)
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropyLoss computes the mean softmax cross-entropy against one-hot
+// rows of target (each row of target must sum to 1), returning the loss and
+// ∂L/∂logits.
+func CrossEntropyLoss(logits, target *mat.Matrix) (float64, *mat.Matrix) {
+	pr, pc := logits.Dims()
+	tr, tc := target.Dims()
+	if pr != tr || pc != tc {
+		panic(fmt.Sprintf("nn: CrossEntropyLoss %dx%d vs %dx%d", pr, pc, tr, tc))
+	}
+	probs := Softmax(logits)
+	loss := 0.0
+	for i := 0; i < pr; i++ {
+		p, t := probs.RawRow(i), target.RawRow(i)
+		for j, tv := range t {
+			if tv > 0 {
+				loss -= tv * math.Log(math.Max(p[j], 1e-12))
+			}
+		}
+	}
+	// ∂L/∂logits = (softmax - target) / batch.
+	grad := probs.Sub(target)
+	grad.ScaleInPlace(1 / float64(pr))
+	return loss / float64(pr), grad
+}
+
+// KLDivergence returns the mean KL(target ‖ pred-probabilities) over rows,
+// for distributions already in probability space.
+func KLDivergence(target, pred *mat.Matrix) float64 {
+	pr, pc := pred.Dims()
+	tr, tc := target.Dims()
+	if pr != tr || pc != tc {
+		panic(fmt.Sprintf("nn: KLDivergence %dx%d vs %dx%d", pr, pc, tr, tc))
+	}
+	total := 0.0
+	for i := 0; i < pr; i++ {
+		t, p := target.RawRow(i), pred.RawRow(i)
+		for j, tv := range t {
+			if tv > 0 {
+				total += tv * math.Log(tv/math.Max(p[j], 1e-12))
+			}
+		}
+	}
+	return total / float64(pr)
+}

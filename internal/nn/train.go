@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/mat"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	// Loss computes (loss, grad) for a batch; defaults to MSELoss.
+	Loss func(pred, target *mat.Matrix) (float64, *mat.Matrix)
+	// ClipNorm, when positive, clips global gradient norm before each step.
+	ClipNorm float64
+	// OnEpoch, when set, is invoked with (epoch, meanLoss) after each epoch.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// Fit trains the network on (x, y) pairs with mini-batch gradient descent.
+// It returns the mean loss of the final epoch.
+func Fit(net *Network, x, y *mat.Matrix, cfg TrainConfig, g *rng.RNG) float64 {
+	if x.Rows() != y.Rows() {
+		panic(fmt.Sprintf("nn: Fit with %d inputs but %d targets", x.Rows(), y.Rows()))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 || cfg.BatchSize > x.Rows() {
+		cfg.BatchSize = x.Rows()
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	loss := cfg.Loss
+	if loss == nil {
+		loss = MSELoss
+	}
+
+	n := x.Rows()
+	last := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := g.Perm(n)
+		totalLoss, batches := 0.0, 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bx := mat.New(end-start, x.Cols())
+			by := mat.New(end-start, y.Cols())
+			for i, idx := range perm[start:end] {
+				bx.SetRow(i, x.RawRow(idx))
+				by.SetRow(i, y.RawRow(idx))
+			}
+			net.ZeroGrad()
+			pred := net.Forward(bx)
+			l, grad := loss(pred, by)
+			net.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				ClipGradients(net.Params(), cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(net.Params())
+			totalLoss += l
+			batches++
+		}
+		last = totalLoss / float64(batches)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, last)
+		}
+	}
+	return last
+}

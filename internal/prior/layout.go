@@ -1,0 +1,127 @@
+// Package prior implements Glimpse's prior distribution generator H (§3.1):
+// a HyperNetwork-style neural model that maps (layer specification,
+// hardware Blueprint) to per-dimension prior distributions over the
+// configuration space. H is trained offline on a TenSet-like dataset of
+// simulated measurements gathered on the training GPU pool, and at tuning
+// time supplies both the initial measurement batch and a log-probability
+// score that the acquisition function consumes.
+//
+// Distribution parameterization, per knob:
+//   - split knob with P parts → P Gaussians over log2(factor): (μ, logσ)·P
+//   - categorical knob with M options → M unnormalized weights
+//
+// This task-shape-independent parameterization is what lets one H transfer
+// across layers whose concrete factorization tables differ.
+package prior
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// KnobLayout locates one knob's parameters inside a template's flat
+// parameter vector.
+type KnobLayout struct {
+	Name    string
+	Kind    space.KnobKind
+	Parts   int // split knobs: number of factors
+	Options int // categorical knobs: number of options
+	Offset  int // start within the parameter vector
+	Len     int // parameter count: 2·Parts or Options
+}
+
+// Layout is the full parameter layout for one template kind.
+type Layout struct {
+	Kind     workload.Kind
+	Knobs    []KnobLayout
+	TotalLen int
+}
+
+// layoutSpec describes a template's knob structure once; kept in lockstep
+// with internal/space's templates (cross-checked by tests).
+type layoutEntry struct {
+	name    string
+	kind    space.KnobKind
+	parts   int
+	options int
+}
+
+var layoutSpecs = map[workload.Kind][]layoutEntry{
+	workload.Conv2D: {
+		{space.KnobTileF, space.KindSplit, 4, 0},
+		{space.KnobTileY, space.KindSplit, 4, 0},
+		{space.KnobTileX, space.KindSplit, 4, 0},
+		{space.KnobTileRC, space.KindSplit, 2, 0},
+		{space.KnobTileRY, space.KindSplit, 2, 0},
+		{space.KnobTileRX, space.KindSplit, 2, 0},
+		{space.KnobUnroll, space.KindCategorical, 0, 3},
+		{space.KnobUnrollE, space.KindCategorical, 0, 2},
+	},
+	workload.WinogradConv2D: {
+		{space.KnobTileP, space.KindSplit, 4, 0},
+		{space.KnobTileCO, space.KindSplit, 4, 0},
+		{space.KnobTileCI, space.KindSplit, 2, 0},
+		{space.KnobUnroll, space.KindCategorical, 0, 3},
+		{space.KnobUnrollE, space.KindCategorical, 0, 2},
+	},
+	workload.Dense: {
+		{space.KnobTileY, space.KindSplit, 3, 0},
+		{space.KnobTileK, space.KindSplit, 2, 0},
+		{space.KnobUnroll, space.KindCategorical, 0, 3},
+		{space.KnobUnrollE, space.KindCategorical, 0, 2},
+	},
+}
+
+// LayoutFor returns the parameter layout of a template kind.
+func LayoutFor(kind workload.Kind) (Layout, error) {
+	entries, ok := layoutSpecs[kind]
+	if !ok {
+		return Layout{}, fmt.Errorf("prior: no layout for kind %v", kind)
+	}
+	l := Layout{Kind: kind}
+	off := 0
+	for _, e := range entries {
+		kl := KnobLayout{Name: e.name, Kind: e.kind, Parts: e.parts, Options: e.options, Offset: off}
+		if e.kind == space.KindSplit {
+			kl.Len = 2 * e.parts
+		} else {
+			kl.Len = e.options
+		}
+		off += kl.Len
+		l.Knobs = append(l.Knobs, kl)
+	}
+	l.TotalLen = off
+	return l, nil
+}
+
+// MustLayoutFor is LayoutFor for known-good kinds.
+func MustLayoutFor(kind workload.Kind) Layout {
+	l, err := LayoutFor(kind)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// CheckSpace verifies a concrete task space matches the layout (same knob
+// names, kinds, parts, and option counts, in order).
+func (l Layout) CheckSpace(sp *space.Space) error {
+	if len(sp.Knobs) != len(l.Knobs) {
+		return fmt.Errorf("prior: space has %d knobs, layout %d", len(sp.Knobs), len(l.Knobs))
+	}
+	for i := range l.Knobs {
+		k, lk := &sp.Knobs[i], l.Knobs[i]
+		if k.Name != lk.Name || k.Kind != lk.Kind {
+			return fmt.Errorf("prior: knob %d is %s/%v, layout says %s/%v", i, k.Name, k.Kind, lk.Name, lk.Kind)
+		}
+		if k.Kind == space.KindSplit && k.Parts != lk.Parts {
+			return fmt.Errorf("prior: knob %s has %d parts, layout %d", k.Name, k.Parts, lk.Parts)
+		}
+		if k.Kind == space.KindCategorical && len(k.Options) != lk.Options {
+			return fmt.Errorf("prior: knob %s has %d options, layout %d", k.Name, len(k.Options), lk.Options)
+		}
+	}
+	return nil
+}

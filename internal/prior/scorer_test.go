@@ -1,0 +1,59 @@
+package prior
+
+import (
+	"math"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// TestScorerMatchesLogProb pins the cached scorer to the reference
+// implementation across random configurations of every template kind.
+func TestScorerMatchesLogProb(t *testing.T) {
+	for _, l := range []int{7, 13, 17} {
+		task, err := workload.TaskByIndex(workload.ResNet18, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, sp := handDist(t, task)
+		scorer := d.Scorer(sp)
+		g := rng.New(int64(l))
+		for i := 0; i < 100; i++ {
+			idx := sp.RandomIndex(g)
+			cfg := sp.FromIndex(idx)
+			want := d.LogProb(sp, cfg)
+			if got := scorer.LogProb(cfg); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s: scorer %g != logprob %g", task.Name(), got, want)
+			}
+			if got := scorer.LogProbIndex(idx); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s: scorer-by-index %g != logprob %g", task.Name(), got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkScorerLogProb(b *testing.B) {
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	layout := MustLayoutFor(task.Kind)
+	params := make([]float64, layout.TotalLen)
+	d, err := NewDist(layout, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scorer := d.Scorer(sp)
+	g := rng.New(1)
+	idxs := make([]int64, 256)
+	for i := range idxs {
+		idxs[i] = sp.RandomIndex(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scorer.LogProbIndex(idxs[i%len(idxs)])
+	}
+}

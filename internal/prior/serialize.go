@@ -1,0 +1,63 @@
+package prior
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/nn"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// modelJSON is the serialized form of a trained prior generator.
+type modelJSON struct {
+	Emb  *blueprint.Embedding   `json:"embedding"`
+	Nets map[string]*nn.Network `json:"nets"`
+}
+
+// kindNames maps template kinds to stable serialization keys.
+var kindNames = map[workload.Kind]string{
+	workload.Conv2D:         "conv2d",
+	workload.WinogradConv2D: "winograd_conv2d",
+	workload.Dense:          "dense",
+}
+
+// MarshalJSON serializes the trained hypernetwork H.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	v := modelJSON{Emb: m.Emb, Nets: map[string]*nn.Network{}}
+	for kind, net := range m.Nets {
+		name, ok := kindNames[kind]
+		if !ok {
+			return nil, fmt.Errorf("prior: cannot serialize head for kind %v", kind)
+		}
+		v.Nets[name] = net
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON restores a serialized prior generator.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var v modelJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.Emb == nil {
+		return fmt.Errorf("prior: serialized model missing embedding")
+	}
+	m.Emb = v.Emb
+	m.Nets = map[workload.Kind]*nn.Network{}
+	for name, net := range v.Nets {
+		found := false
+		for kind, kn := range kindNames {
+			if kn == name {
+				m.Nets[kind] = net
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("prior: serialized model has unknown head %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package refkernels provides reference CPU implementations of the three
+// kernel templates the compiler tunes — direct convolution, Winograd
+// F(2×2, 3×3) convolution, and dense — so the claim underlying the whole
+// search space ("these templates compute the same operator") is executable
+// and tested, not assumed. The Winograd path implements the real
+// Cook–Toom transform matrices, the algorithm whose 2.25× multiply
+// reduction the GPU simulator models.
+package refkernels
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Tensor4 is an NCHW float64 tensor.
+type Tensor4 struct {
+	N, C, H, W int
+	Data       []float64
+}
+
+// NewTensor4 allocates a zero tensor.
+func NewTensor4(n, c, h, w int) *Tensor4 {
+	return &Tensor4{N: n, C: c, H: h, W: w, Data: make([]float64, n*c*h*w)}
+}
+
+// At returns the element (n, c, y, x).
+func (t *Tensor4) At(n, c, y, x int) float64 {
+	return t.Data[((n*t.C+c)*t.H+y)*t.W+x]
+}
+
+// Set stores v at (n, c, y, x).
+func (t *Tensor4) Set(n, c, y, x int, v float64) {
+	t.Data[((n*t.C+c)*t.H+y)*t.W+x] = v
+}
+
+// atPadded reads with zero padding outside bounds.
+func (t *Tensor4) atPadded(n, c, y, x int) float64 {
+	if y < 0 || y >= t.H || x < 0 || x >= t.W {
+		return 0
+	}
+	return t.At(n, c, y, x)
+}
+
+// Conv2DDirect computes a direct convolution of input (N,CI,H,W) with
+// weights (CO,CI,K,K) under the given shape's stride/pad.
+func Conv2DDirect(shape workload.ConvShape, in, w *Tensor4) (*Tensor4, error) {
+	if err := checkConvOperands(shape, in, w); err != nil {
+		return nil, err
+	}
+	out := NewTensor4(shape.Batch, shape.OutC, shape.OutH(), shape.OutW())
+	for n := 0; n < out.N; n++ {
+		for co := 0; co < out.C; co++ {
+			for oy := 0; oy < out.H; oy++ {
+				for ox := 0; ox < out.W; ox++ {
+					acc := 0.0
+					for ci := 0; ci < shape.InC; ci++ {
+						for ky := 0; ky < shape.Kernel; ky++ {
+							for kx := 0; kx < shape.Kernel; kx++ {
+								iy := oy*shape.Stride - shape.Pad + ky
+								ix := ox*shape.Stride - shape.Pad + kx
+								acc += in.atPadded(n, ci, iy, ix) * w.At(co, ci, ky, kx)
+							}
+						}
+					}
+					out.Set(n, co, oy, ox, acc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dense computes y = W·x for weights (Out, In) stored as a Tensor4 with
+// H = W = 1 conventions: weights (Out, In, 1, 1), input (N, In, 1, 1).
+func Dense(shape workload.DenseShape, in, w *Tensor4) (*Tensor4, error) {
+	if in.N != shape.Batch || in.C != shape.In || in.H != 1 || in.W != 1 {
+		return nil, fmt.Errorf("refkernels: dense input %dx%dx%dx%d vs shape %+v", in.N, in.C, in.H, in.W, shape)
+	}
+	if w.N != shape.Out || w.C != shape.In {
+		return nil, fmt.Errorf("refkernels: dense weights %dx%d vs shape %+v", w.N, w.C, shape)
+	}
+	out := NewTensor4(shape.Batch, shape.Out, 1, 1)
+	for n := 0; n < shape.Batch; n++ {
+		for o := 0; o < shape.Out; o++ {
+			acc := 0.0
+			for i := 0; i < shape.In; i++ {
+				acc += w.At(o, i, 0, 0) * in.At(n, i, 0, 0)
+			}
+			out.Set(n, o, 0, 0, acc)
+		}
+	}
+	return out, nil
+}
+
+func checkConvOperands(shape workload.ConvShape, in, w *Tensor4) error {
+	if in.N != shape.Batch || in.C != shape.InC || in.H != shape.H || in.W != shape.W {
+		return fmt.Errorf("refkernels: input %dx%dx%dx%d vs shape %+v", in.N, in.C, in.H, in.W, shape)
+	}
+	if w.N != shape.OutC || w.C != shape.InC || w.H != shape.Kernel || w.W != shape.Kernel {
+		return fmt.Errorf("refkernels: weights %dx%dx%dx%d vs shape %+v", w.N, w.C, w.H, w.W, shape)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package refkernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func randomTensor(g *rng.RNG, n, c, h, w int) *Tensor4 {
+	t := NewTensor4(n, c, h, w)
+	for i := range t.Data {
+		t.Data[i] = g.NormFloat64()
+	}
+	return t
+}
+
+func TestDirectConvKnownValues(t *testing.T) {
+	// 1×1×3×3 input, single 3×3 averaging-ish filter, pad 1.
+	shape := workload.ConvShape{Batch: 1, InC: 1, OutC: 1, H: 3, W: 3, Kernel: 3, Stride: 1, Pad: 1}
+	in := NewTensor4(1, 1, 3, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			in.Set(0, 0, y, x, float64(y*3+x+1)) // 1..9
+		}
+	}
+	w := NewTensor4(1, 1, 3, 3)
+	w.Set(0, 0, 1, 1, 1) // identity kernel
+	out, err := Conv2DDirect(shape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if got, want := out.At(0, 0, y, x), in.At(0, 0, y, x); got != want {
+				t.Fatalf("identity conv at (%d,%d) = %g want %g", y, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDirectConvStrideAndPad(t *testing.T) {
+	shape := workload.ConvShape{Batch: 1, InC: 1, OutC: 1, H: 4, W: 4, Kernel: 3, Stride: 2, Pad: 1}
+	in := NewTensor4(1, 1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := NewTensor4(1, 1, 3, 3)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	out, err := Conv2DDirect(shape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("out dims %dx%d", out.H, out.W)
+	}
+	// Top-left tap covers a 2×2 valid region (corner), value 4.
+	if got := out.At(0, 0, 0, 0); got != 4 {
+		t.Fatalf("corner = %g want 4", got)
+	}
+}
+
+func TestConvOperandValidation(t *testing.T) {
+	shape := workload.ConvShape{Batch: 1, InC: 2, OutC: 3, H: 4, W: 4, Kernel: 3, Stride: 1, Pad: 1}
+	g := rng.New(1)
+	in := randomTensor(g, 1, 2, 4, 4)
+	badW := randomTensor(g, 3, 1, 3, 3) // wrong CI
+	if _, err := Conv2DDirect(shape, in, badW); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+	badIn := randomTensor(g, 1, 2, 5, 4)
+	w := randomTensor(g, 3, 2, 3, 3)
+	if _, err := Conv2DDirect(shape, badIn, w); err == nil {
+		t.Fatal("bad input accepted")
+	}
+}
+
+// TestWinogradMatchesDirect is the algebraic heart: the Winograd template
+// computes exactly the same function as direct convolution.
+func TestWinogradMatchesDirect(t *testing.T) {
+	g := rng.New(2)
+	shapes := []workload.ConvShape{
+		{Batch: 1, InC: 3, OutC: 4, H: 8, W: 8, Kernel: 3, Stride: 1, Pad: 1},
+		{Batch: 2, InC: 2, OutC: 2, H: 7, W: 5, Kernel: 3, Stride: 1, Pad: 1}, // odd dims: tile clipping
+		{Batch: 1, InC: 1, OutC: 1, H: 6, W: 6, Kernel: 3, Stride: 1, Pad: 0}, // no padding
+	}
+	for _, shape := range shapes {
+		in := randomTensor(g, shape.Batch, shape.InC, shape.H, shape.W)
+		w := randomTensor(g, shape.OutC, shape.InC, 3, 3)
+		direct, err := Conv2DDirect(shape, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wino, _, err := Conv2DWinograd(shape, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(direct.Data) != len(wino.Data) {
+			t.Fatalf("%+v: size mismatch", shape)
+		}
+		for i := range direct.Data {
+			if math.Abs(direct.Data[i]-wino.Data[i]) > 1e-9 {
+				t.Fatalf("%+v: element %d: direct %g vs winograd %g", shape, i, direct.Data[i], wino.Data[i])
+			}
+		}
+	}
+}
+
+// TestWinogradMatchesDirectProperty fuzzes shapes.
+func TestWinogradMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := rng.New(seed)
+		shape := workload.ConvShape{
+			Batch: 1, InC: 1 + g.Intn(3), OutC: 1 + g.Intn(3),
+			H: 4 + g.Intn(6), W: 4 + g.Intn(6), Kernel: 3, Stride: 1, Pad: g.Intn(2),
+		}
+		in := randomTensor(g, shape.Batch, shape.InC, shape.H, shape.W)
+		w := randomTensor(g, shape.OutC, shape.InC, 3, 3)
+		direct, err := Conv2DDirect(shape, in, w)
+		if err != nil {
+			return false
+		}
+		wino, _, err := Conv2DWinograd(shape, in, w)
+		if err != nil {
+			return false
+		}
+		for i := range direct.Data {
+			if math.Abs(direct.Data[i]-wino.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWinogradMultiplyReduction pins the 2.25× arithmetic saving the GPU
+// simulator's winograd model is built on.
+func TestWinogradMultiplyReduction(t *testing.T) {
+	shape := workload.ConvShape{Batch: 1, InC: 8, OutC: 8, H: 16, W: 16, Kernel: 3, Stride: 1, Pad: 1}
+	g := rng.New(3)
+	in := randomTensor(g, 1, 8, 16, 16)
+	w := randomTensor(g, 8, 8, 3, 3)
+	_, stats, err := Conv2DWinograd(shape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(stats.DirectMuls) / float64(stats.ElementwiseMuls)
+	// 36 direct multiplies per 2×2 tile vs 16 elementwise = 2.25 exactly
+	// when output dims are even.
+	if math.Abs(ratio-2.25) > 1e-12 {
+		t.Fatalf("multiply reduction = %g want 2.25", ratio)
+	}
+}
+
+func TestWinogradRejectsWrongShape(t *testing.T) {
+	g := rng.New(4)
+	shape := workload.ConvShape{Batch: 1, InC: 1, OutC: 1, H: 8, W: 8, Kernel: 5, Stride: 1, Pad: 2}
+	in := randomTensor(g, 1, 1, 8, 8)
+	w := randomTensor(g, 1, 1, 5, 5)
+	if _, _, err := Conv2DWinograd(shape, in, w); err == nil {
+		t.Fatal("5x5 accepted by F(2x2,3x3)")
+	}
+	shape2 := workload.ConvShape{Batch: 1, InC: 1, OutC: 1, H: 8, W: 8, Kernel: 3, Stride: 2, Pad: 1}
+	w3 := randomTensor(g, 1, 1, 3, 3)
+	if _, _, err := Conv2DWinograd(shape2, in, w3); err == nil {
+		t.Fatal("stride 2 accepted")
+	}
+}
+
+func TestDenseMatchesManual(t *testing.T) {
+	shape := workload.DenseShape{Batch: 1, In: 3, Out: 2}
+	in := NewTensor4(1, 3, 1, 1)
+	in.Data = []float64{1, 2, 3}
+	w := NewTensor4(2, 3, 1, 1)
+	w.Data = []float64{1, 0, -1, 0.5, 0.5, 0.5}
+	out, err := Dense(shape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != -2 || out.At(0, 1, 0, 0) != 3 {
+		t.Fatalf("dense = %v", out.Data)
+	}
+	// Validation.
+	if _, err := Dense(shape, w, in); err == nil {
+		t.Fatal("swapped operands accepted")
+	}
+}
+
+// TestDenseEqualsConv1x1: a 1×1 convolution over a 1×1 image is a dense
+// layer — the templates agree where they overlap.
+func TestDenseEqualsConv1x1(t *testing.T) {
+	g := rng.New(5)
+	const inC, outC = 5, 4
+	convShape := workload.ConvShape{Batch: 1, InC: inC, OutC: outC, H: 1, W: 1, Kernel: 1, Stride: 1, Pad: 0}
+	denseShape := workload.DenseShape{Batch: 1, In: inC, Out: outC}
+	in := randomTensor(g, 1, inC, 1, 1)
+	w := randomTensor(g, outC, inC, 1, 1)
+	conv, err := Conv2DDirect(convShape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Dense(denseShape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range conv.Data {
+		if math.Abs(conv.Data[i]-dense.Data[i]) > 1e-12 {
+			t.Fatalf("conv1x1 %g vs dense %g at %d", conv.Data[i], dense.Data[i], i)
+		}
+	}
+}
+
+func BenchmarkDirectConv(b *testing.B) {
+	shape := workload.ConvShape{Batch: 1, InC: 16, OutC: 16, H: 16, W: 16, Kernel: 3, Stride: 1, Pad: 1}
+	g := rng.New(6)
+	in := randomTensor(g, 1, 16, 16, 16)
+	w := randomTensor(g, 16, 16, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2DDirect(shape, in, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWinogradConv(b *testing.B) {
+	shape := workload.ConvShape{Batch: 1, InC: 16, OutC: 16, H: 16, W: 16, Kernel: 3, Stride: 1, Pad: 1}
+	g := rng.New(7)
+	in := randomTensor(g, 1, 16, 16, 16)
+	w := randomTensor(g, 16, 16, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Conv2DWinograd(shape, in, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWinograd4MatchesDirect verifies the larger F(4×4, 3×3) tile variant
+// computes the same function (within its looser numerical conditioning).
+func TestWinograd4MatchesDirect(t *testing.T) {
+	g := rng.New(8)
+	shapes := []workload.ConvShape{
+		{Batch: 1, InC: 3, OutC: 4, H: 12, W: 12, Kernel: 3, Stride: 1, Pad: 1},
+		{Batch: 1, InC: 2, OutC: 2, H: 9, W: 7, Kernel: 3, Stride: 1, Pad: 1}, // clipping
+		{Batch: 2, InC: 1, OutC: 1, H: 10, W: 10, Kernel: 3, Stride: 1, Pad: 0},
+	}
+	for _, shape := range shapes {
+		in := randomTensor(g, shape.Batch, shape.InC, shape.H, shape.W)
+		w := randomTensor(g, shape.OutC, shape.InC, 3, 3)
+		direct, err := Conv2DDirect(shape, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wino, _, err := Conv2DWinograd4(shape, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range direct.Data {
+			if math.Abs(direct.Data[i]-wino.Data[i]) > 1e-8 {
+				t.Fatalf("%+v: element %d: direct %g vs winograd4 %g", shape, i, direct.Data[i], wino.Data[i])
+			}
+		}
+	}
+}
+
+// TestWinograd4MultiplyReduction pins the 4× saving of the larger tile.
+func TestWinograd4MultiplyReduction(t *testing.T) {
+	shape := workload.ConvShape{Batch: 1, InC: 4, OutC: 4, H: 16, W: 16, Kernel: 3, Stride: 1, Pad: 1}
+	g := rng.New(9)
+	in := randomTensor(g, 1, 4, 16, 16)
+	w := randomTensor(g, 4, 4, 3, 3)
+	_, stats, err := Conv2DWinograd4(shape, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(stats.DirectMuls) / float64(stats.ElementwiseMuls)
+	if math.Abs(ratio-4) > 1e-12 {
+		t.Fatalf("multiply reduction = %g want 4", ratio)
+	}
+}
+
+func TestWinograd4RejectsWrongShape(t *testing.T) {
+	g := rng.New(10)
+	shape := workload.ConvShape{Batch: 1, InC: 1, OutC: 1, H: 8, W: 8, Kernel: 3, Stride: 2, Pad: 1}
+	in := randomTensor(g, 1, 1, 8, 8)
+	w := randomTensor(g, 1, 1, 3, 3)
+	if _, _, err := Conv2DWinograd4(shape, in, w); err == nil {
+		t.Fatal("stride 2 accepted")
+	}
+}

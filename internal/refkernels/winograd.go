@@ -1,0 +1,175 @@
+package refkernels
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Winograd F(2×2, 3×3) transform matrices (Cook–Toom / Lavin & Gray):
+//
+//	Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//
+// with d a 4×4 input tile, g the 3×3 filter, Y the 2×2 output tile.
+var (
+	winoBT = [4][4]float64{
+		{1, 0, -1, 0},
+		{0, 1, 1, 0},
+		{0, -1, 1, 0},
+		{0, 1, 0, -1},
+	}
+	winoG = [4][3]float64{
+		{1, 0, 0},
+		{0.5, 0.5, 0.5},
+		{0.5, -0.5, 0.5},
+		{0, 0, 1},
+	}
+	winoAT = [2][4]float64{
+		{1, 1, 1, 0},
+		{0, 1, -1, -1},
+	}
+)
+
+// WinogradStats reports the arithmetic actually performed, so the 2.25×
+// multiply reduction the paper's schedule exploits is checkable.
+type WinogradStats struct {
+	ElementwiseMuls int64 // multiplies in the transformed domain
+	DirectMuls      int64 // multiplies a direct convolution would need
+}
+
+// Conv2DWinograd computes the same convolution as Conv2DDirect for
+// stride-1 3×3 kernels using Winograd F(2×2, 3×3).
+func Conv2DWinograd(shape workload.ConvShape, in, w *Tensor4) (*Tensor4, *WinogradStats, error) {
+	if err := checkConvOperands(shape, in, w); err != nil {
+		return nil, nil, err
+	}
+	if shape.Kernel != 3 || shape.Stride != 1 {
+		return nil, nil, fmt.Errorf("refkernels: winograd F(2x2,3x3) needs 3x3 stride-1, got k=%d s=%d",
+			shape.Kernel, shape.Stride)
+	}
+	outH, outW := shape.OutH(), shape.OutW()
+	out := NewTensor4(shape.Batch, shape.OutC, outH, outW)
+	stats := &WinogradStats{}
+	tilesY := (outH + 1) / 2
+	tilesX := (outW + 1) / 2
+
+	// Pre-transform all filters: U[co][ci] = G g Gᵀ (4×4 each).
+	u := make([][][4][4]float64, shape.OutC)
+	for co := 0; co < shape.OutC; co++ {
+		u[co] = make([][4][4]float64, shape.InC)
+		for ci := 0; ci < shape.InC; ci++ {
+			var g [3][3]float64
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					g[ky][kx] = w.At(co, ci, ky, kx)
+				}
+			}
+			u[co][ci] = filterTransform(g)
+		}
+	}
+
+	for n := 0; n < shape.Batch; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				// Gather the transformed input tile per channel once.
+				v := make([][4][4]float64, shape.InC)
+				for ci := 0; ci < shape.InC; ci++ {
+					var d [4][4]float64
+					for dy := 0; dy < 4; dy++ {
+						for dx := 0; dx < 4; dx++ {
+							iy := ty*2 - shape.Pad + dy
+							ix := tx*2 - shape.Pad + dx
+							d[dy][dx] = in.atPadded(n, ci, iy, ix)
+						}
+					}
+					v[ci] = inputTransform(d)
+				}
+				for co := 0; co < shape.OutC; co++ {
+					var m [4][4]float64
+					for ci := 0; ci < shape.InC; ci++ {
+						for i := 0; i < 4; i++ {
+							for j := 0; j < 4; j++ {
+								m[i][j] += u[co][ci][i][j] * v[ci][i][j]
+							}
+						}
+						stats.ElementwiseMuls += 16
+					}
+					y := outputTransform(m)
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							oy, ox := ty*2+dy, tx*2+dx
+							if oy < outH && ox < outW {
+								out.Set(n, co, oy, ox, y[dy][dx])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	stats.DirectMuls = int64(shape.Batch) * int64(outH) * int64(outW) *
+		int64(shape.OutC) * int64(shape.InC) * 9
+	return out, stats, nil
+}
+
+// filterTransform computes G g Gᵀ.
+func filterTransform(g [3][3]float64) [4][4]float64 {
+	var tmp [4][3]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				tmp[i][j] += winoG[i][k] * g[k][j]
+			}
+		}
+	}
+	var out [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 3; k++ {
+				out[i][j] += tmp[i][k] * winoG[j][k]
+			}
+		}
+	}
+	return out
+}
+
+// inputTransform computes Bᵀ d B.
+func inputTransform(d [4][4]float64) [4][4]float64 {
+	var tmp, out [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				tmp[i][j] += winoBT[i][k] * d[k][j]
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				out[i][j] += tmp[i][k] * winoBT[j][k]
+			}
+		}
+	}
+	return out
+}
+
+// outputTransform computes Aᵀ m A.
+func outputTransform(m [4][4]float64) [2][2]float64 {
+	var tmp [2][4]float64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				tmp[i][j] += winoAT[i][k] * m[k][j]
+			}
+		}
+	}
+	var out [2][2]float64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 4; k++ {
+				out[i][j] += tmp[i][k] * winoAT[j][k]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package refkernels
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Winograd F(4×4, 3×3) transform matrices (Lavin & Gray, 2016): 6×6 input
+// tiles produce 4×4 output tiles from 36 elementwise multiplies where a
+// direct convolution needs 144 — a 4× reduction, at the cost of larger
+// transforms and worse numerical conditioning. TVM's CUDA backend offers
+// both tile sizes; this is the larger one.
+var (
+	wino4BT = [6][6]float64{
+		{4, 0, -5, 0, 1, 0},
+		{0, -4, -4, 1, 1, 0},
+		{0, 4, -4, -1, 1, 0},
+		{0, -2, -1, 2, 1, 0},
+		{0, 2, -1, -2, 1, 0},
+		{0, 4, 0, -5, 0, 1},
+	}
+	wino4G = [6][3]float64{
+		{1.0 / 4, 0, 0},
+		{-1.0 / 6, -1.0 / 6, -1.0 / 6},
+		{-1.0 / 6, 1.0 / 6, -1.0 / 6},
+		{1.0 / 24, 1.0 / 12, 1.0 / 6},
+		{1.0 / 24, -1.0 / 12, 1.0 / 6},
+		{0, 0, 1},
+	}
+	wino4AT = [4][6]float64{
+		{1, 1, 1, 1, 1, 0},
+		{0, 1, -1, 2, -2, 0},
+		{0, 1, 1, 4, 4, 0},
+		{0, 1, -1, 8, -8, 1},
+	}
+)
+
+// Conv2DWinograd4 computes the same stride-1 3×3 convolution as
+// Conv2DDirect using Winograd F(4×4, 3×3).
+func Conv2DWinograd4(shape workload.ConvShape, in, w *Tensor4) (*Tensor4, *WinogradStats, error) {
+	if err := checkConvOperands(shape, in, w); err != nil {
+		return nil, nil, err
+	}
+	if shape.Kernel != 3 || shape.Stride != 1 {
+		return nil, nil, fmt.Errorf("refkernels: winograd F(4x4,3x3) needs 3x3 stride-1, got k=%d s=%d",
+			shape.Kernel, shape.Stride)
+	}
+	outH, outW := shape.OutH(), shape.OutW()
+	out := NewTensor4(shape.Batch, shape.OutC, outH, outW)
+	stats := &WinogradStats{}
+	tilesY := (outH + 3) / 4
+	tilesX := (outW + 3) / 4
+
+	// Pre-transform filters: U = G g Gᵀ (6×6 per channel pair).
+	u := make([][][6][6]float64, shape.OutC)
+	for co := 0; co < shape.OutC; co++ {
+		u[co] = make([][6][6]float64, shape.InC)
+		for ci := 0; ci < shape.InC; ci++ {
+			var g [3][3]float64
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					g[ky][kx] = w.At(co, ci, ky, kx)
+				}
+			}
+			u[co][ci] = filterTransform4(g)
+		}
+	}
+
+	for n := 0; n < shape.Batch; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				v := make([][6][6]float64, shape.InC)
+				for ci := 0; ci < shape.InC; ci++ {
+					var d [6][6]float64
+					for dy := 0; dy < 6; dy++ {
+						for dx := 0; dx < 6; dx++ {
+							iy := ty*4 - shape.Pad + dy
+							ix := tx*4 - shape.Pad + dx
+							d[dy][dx] = in.atPadded(n, ci, iy, ix)
+						}
+					}
+					v[ci] = inputTransform4(d)
+				}
+				for co := 0; co < shape.OutC; co++ {
+					var m [6][6]float64
+					for ci := 0; ci < shape.InC; ci++ {
+						for i := 0; i < 6; i++ {
+							for j := 0; j < 6; j++ {
+								m[i][j] += u[co][ci][i][j] * v[ci][i][j]
+							}
+						}
+						stats.ElementwiseMuls += 36
+					}
+					y := outputTransform4(m)
+					for dy := 0; dy < 4; dy++ {
+						for dx := 0; dx < 4; dx++ {
+							oy, ox := ty*4+dy, tx*4+dx
+							if oy < outH && ox < outW {
+								out.Set(n, co, oy, ox, y[dy][dx])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	stats.DirectMuls = int64(shape.Batch) * int64(outH) * int64(outW) *
+		int64(shape.OutC) * int64(shape.InC) * 9
+	return out, stats, nil
+}
+
+func filterTransform4(g [3][3]float64) [6][6]float64 {
+	var tmp [6][3]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				tmp[i][j] += wino4G[i][k] * g[k][j]
+			}
+		}
+	}
+	var out [6][6]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 3; k++ {
+				out[i][j] += tmp[i][k] * wino4G[j][k]
+			}
+		}
+	}
+	return out
+}
+
+func inputTransform4(d [6][6]float64) [6][6]float64 {
+	var tmp, out [6][6]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				tmp[i][j] += wino4BT[i][k] * d[k][j]
+			}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				out[i][j] += tmp[i][k] * wino4BT[j][k]
+			}
+		}
+	}
+	return out
+}
+
+func outputTransform4(m [6][6]float64) [4][4]float64 {
+	var tmp [4][6]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 6; k++ {
+				tmp[i][j] += wino4AT[i][k] * m[k][j]
+			}
+		}
+	}
+	var out [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 6; k++ {
+				out[i][j] += tmp[i][k] * wino4AT[j][k]
+			}
+		}
+	}
+	return out
+}

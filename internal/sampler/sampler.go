@@ -1,0 +1,91 @@
+// Package sampler implements the candidate-selection stage between the
+// exploration module and real hardware measurements:
+//
+//   - Passthrough — AutoTVM's behaviour: measure what the explorer proposes.
+//   - Cluster — Chameleon's adaptive sampling: k-means over candidate
+//     features, measuring one representative per cluster.
+//   - Ensemble — Glimpse's Hardware-Aware Sampling (§3.3): an ensemble of
+//     O(1) threshold predictors generated from the hardware Blueprint that
+//     vote to reject invalid configurations before they waste GPU time.
+package sampler
+
+import (
+	"github.com/neuralcompile/glimpse/internal/cluster"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Sampler narrows explorer candidates down to the batch worth measuring.
+type Sampler interface {
+	// Select returns up to n configuration indices from cands, best first
+	// according to the sampler's policy. cands are assumed explorer-ordered
+	// (best surrogate score first).
+	Select(task workload.Task, sp *space.Space, cands []int64, n int, g *rng.RNG) []int64
+}
+
+// Passthrough measures the explorer's proposals verbatim (AutoTVM).
+type Passthrough struct{}
+
+// Select returns the first n candidates.
+func (Passthrough) Select(_ workload.Task, _ *space.Space, cands []int64, n int, _ *rng.RNG) []int64 {
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return append([]int64(nil), cands...)
+}
+
+// Cluster implements Chameleon's clustering-based adaptive sampling: the
+// candidate pool is clustered in feature space and the candidate nearest
+// each centroid is measured. Hardware-agnostic: it reduces redundant
+// measurements but cannot see validity.
+type Cluster struct {
+	// MaxIter bounds the k-means Lloyd iterations (default 25).
+	MaxIter int
+}
+
+// Select clusters cands into n groups and returns each group's
+// representative.
+func (c Cluster) Select(_ workload.Task, sp *space.Space, cands []int64, n int, g *rng.RNG) []int64 {
+	if len(cands) == 0 || n <= 0 {
+		return nil
+	}
+	if len(cands) <= n {
+		return append([]int64(nil), cands...)
+	}
+	maxIter := c.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	feats := make([][]float64, len(cands))
+	for i, idx := range cands {
+		feats[i] = sp.FeaturesAt(idx)
+	}
+	res, err := cluster.KMeans(feats, n, maxIter, g)
+	if err != nil {
+		// Degenerate pool: fall back to the explorer's ordering.
+		return append([]int64(nil), cands[:n]...)
+	}
+	reps := res.NearestIndex(feats)
+	out := make([]int64, 0, n)
+	seen := map[int64]bool{}
+	for _, r := range reps {
+		idx := cands[r]
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	// Duplicated representatives (possible when clusters collapse) are
+	// topped up from the explorer ordering.
+	for _, idx := range cands {
+		if len(out) >= n {
+			break
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package sampler
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func testTask(t *testing.T) (workload.Task, *space.Space) {
+	t.Helper()
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, space.MustForTask(task)
+}
+
+func TestPassthrough(t *testing.T) {
+	task, sp := testTask(t)
+	cands := []int64{5, 3, 9, 1}
+	got := Passthrough{}.Select(task, sp, cands, 2, rng.New(1))
+	if len(got) != 2 || got[0] != 5 || got[1] != 3 {
+		t.Fatalf("passthrough = %v", got)
+	}
+	// Does not alias input.
+	got[0] = 99
+	if cands[0] == 99 {
+		t.Fatal("passthrough aliases input")
+	}
+}
+
+func TestClusterSelectsDiverseRepresentatives(t *testing.T) {
+	task, sp := testTask(t)
+	g := rng.New(2)
+	cands := make([]int64, 120)
+	for i := range cands {
+		cands[i] = sp.RandomIndex(g)
+	}
+	got := Cluster{}.Select(task, sp, cands, 10, g)
+	if len(got) != 10 {
+		t.Fatalf("selected %d want 10", len(got))
+	}
+	seen := map[int64]bool{}
+	inPool := map[int64]bool{}
+	for _, c := range cands {
+		inPool[c] = true
+	}
+	for _, idx := range got {
+		if seen[idx] {
+			t.Fatalf("duplicate representative %d", idx)
+		}
+		if !inPool[idx] {
+			t.Fatalf("representative %d not from candidate pool", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestClusterSmallPoolPassesThrough(t *testing.T) {
+	task, sp := testTask(t)
+	cands := []int64{1, 2, 3}
+	got := Cluster{}.Select(task, sp, cands, 10, rng.New(3))
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func newTestEnsemble(t *testing.T, target string, tau float64) (*Ensemble, *blueprint.Embedding) {
+	t.Helper()
+	emb, err := blueprint.Build(hwspec.Registry(), blueprint.DefaultDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := emb.Embed(hwspec.MustByName(target))
+	e, err := NewEnsemble(emb, vec, 9, tau, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, emb
+}
+
+// TestEnsembleFiltersInvalidConfigs is the §3.3 claim: predictors generated
+// from the Blueprint of an unseen GPU drastically cut the invalid fraction
+// among measured configurations.
+func TestEnsembleFiltersInvalidConfigs(t *testing.T) {
+	task, sp := testTask(t)
+	target := hwspec.TitanXp
+	e, _ := newTestEnsemble(t, target, 0)
+	dev := gpusim.NewDevice(hwspec.MustByName(target))
+	g := rng.New(4)
+
+	const n = 3000
+	rawInvalid, accepted, acceptedInvalid := 0, 0, 0
+	for i := 0; i < n; i++ {
+		idx := sp.RandomIndex(g)
+		valid := dev.MeasureIndex(task, sp, idx).Valid
+		if !valid {
+			rawInvalid++
+		}
+		if e.Accept(task, sp, idx) {
+			accepted++
+			if !valid {
+				acceptedInvalid++
+			}
+		}
+	}
+	rawFrac := float64(rawInvalid) / n
+	accFrac := float64(acceptedInvalid) / float64(accepted)
+	if accepted < n/10 {
+		t.Fatalf("ensemble accepted only %d/%d configs", accepted, n)
+	}
+	// The filter must cut the invalid rate by at least 3× (the paper
+	// reports 5.56× over no filtering).
+	if accFrac > rawFrac/3 {
+		t.Fatalf("invalid rate %0.3f after filter vs %0.3f raw: reduction too weak", accFrac, rawFrac)
+	}
+}
+
+func TestEnsembleSelectPreservesOrderAndTopsUp(t *testing.T) {
+	task, sp := testTask(t)
+	e, _ := newTestEnsemble(t, hwspec.RTX2080Ti, 0)
+	g := rng.New(5)
+	cands := make([]int64, 200)
+	for i := range cands {
+		cands[i] = sp.RandomIndex(g)
+	}
+	got := e.Select(task, sp, cands, 16, g)
+	if len(got) != 16 {
+		t.Fatalf("selected %d want 16", len(got))
+	}
+	// Survivors appear in their original relative order.
+	pos := map[int64]int{}
+	for i, c := range cands {
+		if _, dup := pos[c]; !dup {
+			pos[c] = i
+		}
+	}
+	lastPos := -1
+	for _, idx := range got {
+		if !e.Accept(task, sp, idx) {
+			continue // topped-up rejects may interleave at the tail
+		}
+		if pos[idx] < lastPos {
+			t.Fatal("accepted candidates reordered")
+		}
+		lastPos = pos[idx]
+	}
+}
+
+func TestEnsembleTauExtremes(t *testing.T) {
+	task, sp := testTask(t)
+	g := rng.New(6)
+	// τ≈1 accepts everything (no rejection possible).
+	eAll, _ := newTestEnsemble(t, hwspec.RTX3090, 1.0)
+	idx := sp.RandomIndex(g)
+	if !eAll.Accept(task, sp, idx) {
+		t.Fatal("τ=1 ensemble rejected a config")
+	}
+	if eAll.Size() != 9 {
+		t.Fatalf("ensemble size %d", eAll.Size())
+	}
+}
+
+func TestEnsembleDefaultTau(t *testing.T) {
+	e, _ := newTestEnsemble(t, hwspec.RTX3090, 0)
+	if e.Tau != DefaultTau {
+		t.Fatalf("tau = %g want %g", e.Tau, DefaultTau)
+	}
+}
+
+func TestNewEnsembleDeterministic(t *testing.T) {
+	emb, err := blueprint.Build(hwspec.Registry(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := emb.Embed(hwspec.MustByName(hwspec.TitanXp))
+	a, err := NewEnsemble(emb, vec, 5, 0, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEnsemble(emb, vec, 5, 0, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, sp := testTask(t)
+	g := rng.New(10)
+	for i := 0; i < 200; i++ {
+		idx := sp.RandomIndex(g)
+		if a.Accept(task, sp, idx) != b.Accept(task, sp, idx) {
+			t.Fatal("ensemble generation not deterministic")
+		}
+	}
+}

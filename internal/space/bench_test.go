@@ -1,0 +1,61 @@
+package space
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func benchSpace(b *testing.B) (*Space, workload.Task) {
+	b.Helper()
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return MustForTask(task), task
+}
+
+func BenchmarkIndexRoundTrip(b *testing.B) {
+	sp, _ := benchSpace(b)
+	g := rng.New(1)
+	idxs := make([]int64, 1024)
+	for i := range idxs {
+		idxs[i] = sp.RandomIndex(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := idxs[i%len(idxs)]
+		if sp.ToIndex(sp.FromIndex(idx)) != idx {
+			b.Fatal("round trip broke")
+		}
+	}
+}
+
+func BenchmarkFeaturesAt(b *testing.B) {
+	sp, _ := benchSpace(b)
+	g := rng.New(2)
+	idxs := make([]int64, 1024)
+	for i := range idxs {
+		idxs[i] = sp.RandomIndex(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.FeaturesAt(idxs[i%len(idxs)])
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	sp, task := benchSpace(b)
+	g := rng.New(3)
+	cfgs := make([]Config, 256)
+	for i := range cfgs {
+		cfgs[i] = sp.FromIndex(sp.RandomIndex(g))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Derive(task, sp, cfgs[i%len(cfgs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

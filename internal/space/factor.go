@@ -1,0 +1,70 @@
+// Package space models TVM-style schedule configuration spaces: knobs
+// (axis splits and categorical options), mixed-radix index↔configuration
+// mapping over astronomically large spaces, featurization for cost models,
+// neighbourhood moves for simulated annealing, and the derived resource
+// quantities (threads per block, shared memory, registers) that both the
+// GPU simulator and Glimpse's hardware-aware sampling reason about.
+package space
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// factorizations enumerates every ordered k-tuple of positive integers
+// whose product is n, in lexicographic order. TVM's ConfigSpace defines
+// split knobs exactly this way.
+func factorizations(n, k int) [][]int {
+	if n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("space: factorizations(%d, %d)", n, k))
+	}
+	if k == 1 {
+		return [][]int{{n}}
+	}
+	var out [][]int
+	for _, d := range divisors(n) {
+		for _, rest := range factorizations(n/d, k-1) {
+			tuple := make([]int, 0, k)
+			tuple = append(tuple, d)
+			tuple = append(tuple, rest...)
+			out = append(out, tuple)
+		}
+	}
+	return out
+}
+
+// divisors returns the sorted positive divisors of n.
+func divisors(n int) []int {
+	var out []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			if other := n / d; other != d {
+				out = append(out, other)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// factorCache memoizes factorization tables, which repeat heavily across
+// tasks (channel counts like 64/128/256/512 recur in every model).
+var factorCache sync.Map // map[[2]int][][]int
+
+func cachedFactorizations(n, k int) [][]int {
+	key := [2]int{n, k}
+	if v, ok := factorCache.Load(key); ok {
+		return v.([][]int)
+	}
+	f := factorizations(n, k)
+	factorCache.Store(key, f)
+	return f
+}
+
+// countFactorizations returns the number of ordered k-part factorizations
+// of n without materializing them.
+func countFactorizations(n, k int) int {
+	return len(cachedFactorizations(n, k))
+}

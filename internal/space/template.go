@@ -1,0 +1,106 @@
+package space
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Knob name constants shared with the prior generator and sampler.
+const (
+	KnobTileF   = "tile_f"
+	KnobTileY   = "tile_y"
+	KnobTileX   = "tile_x"
+	KnobTileRC  = "tile_rc"
+	KnobTileRY  = "tile_ry"
+	KnobTileRX  = "tile_rx"
+	KnobTileP   = "tile_p"
+	KnobTileCO  = "tile_co"
+	KnobTileCI  = "tile_ci"
+	KnobTileK   = "tile_k"
+	KnobUnroll  = "auto_unroll_max_step"
+	KnobUnrollE = "unroll_explicit"
+)
+
+// splitRoles4 is the TVM conv2d 4-way split: block, vthread, thread, inner.
+var splitRoles4 = []Role{RoleBlock, RoleVThread, RoleThread, RoleInner}
+
+// splitRoles3 is a 3-way split: block, thread, inner.
+var splitRoles3 = []Role{RoleBlock, RoleThread, RoleInner}
+
+// reduceRoles2 is the 2-way reduction split: outer (staging), inner.
+var reduceRoles2 = []Role{RoleReduceOuter, RoleReduceInner}
+
+// unrollOptions matches TVM's CUDA auto_unroll_max_step candidates.
+var unrollOptions = []int{0, 512, 1500}
+
+// ForTask builds the configuration space for a task, mirroring the TVM CUDA
+// schedule templates for direct conv2d, winograd conv2d, and dense.
+func ForTask(t workload.Task) (*Space, error) {
+	switch t.Kind {
+	case workload.Conv2D:
+		return conv2dSpace(t), nil
+	case workload.WinogradConv2D:
+		return winogradSpace(t), nil
+	case workload.Dense:
+		return denseSpace(t), nil
+	default:
+		return nil, fmt.Errorf("space: unknown task kind %v", t.Kind)
+	}
+}
+
+// MustForTask is ForTask for known-good tasks.
+func MustForTask(t workload.Task) *Space {
+	s, err := ForTask(t)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// conv2dSpace is the direct convolution template: 4-way splits of the
+// output channel and spatial axes, 2-way splits of the reduction axes, and
+// the unrolling knobs.
+func conv2dSpace(t workload.Task) *Space {
+	c := t.Conv
+	knobs := []Knob{
+		NewSplitKnob(KnobTileF, c.OutC, splitRoles4),
+		NewSplitKnob(KnobTileY, c.OutH(), splitRoles4),
+		NewSplitKnob(KnobTileX, c.OutW(), splitRoles4),
+		NewSplitKnob(KnobTileRC, c.InC, reduceRoles2),
+		NewSplitKnob(KnobTileRY, c.Kernel, reduceRoles2),
+		NewSplitKnob(KnobTileRX, c.Kernel, reduceRoles2),
+		NewCategoricalKnob(KnobUnroll, unrollOptions),
+		NewCategoricalKnob(KnobUnrollE, []int{0, 1}),
+	}
+	return newSpace(t.Name(), "conv2d", knobs)
+}
+
+// winogradSpace is the winograd template: the transformed problem is a
+// batched GEMM over P = ⌈H/2⌉·⌈W/2⌉ output tiles, split 4 ways along the
+// tile and output-channel axes and 2 ways along input channels.
+func winogradSpace(t workload.Task) *Space {
+	c := t.Conv
+	p := ((c.OutH() + 1) / 2) * ((c.OutW() + 1) / 2) * c.Batch
+	knobs := []Knob{
+		NewSplitKnob(KnobTileP, p, splitRoles4),
+		NewSplitKnob(KnobTileCO, c.OutC, splitRoles4),
+		NewSplitKnob(KnobTileCI, c.InC, reduceRoles2),
+		NewCategoricalKnob(KnobUnroll, []int{0, 128, 1500}),
+		NewCategoricalKnob(KnobUnrollE, []int{0, 1}),
+	}
+	return newSpace(t.Name(), "winograd_conv2d", knobs)
+}
+
+// denseSpace is the fully connected template: a 3-way split of the output
+// axis, a 2-way split of the reduction axis, and unrolling.
+func denseSpace(t workload.Task) *Space {
+	d := t.Dense
+	knobs := []Knob{
+		NewSplitKnob(KnobTileY, d.Out, splitRoles3),
+		NewSplitKnob(KnobTileK, d.In, reduceRoles2),
+		NewCategoricalKnob(KnobUnroll, unrollOptions),
+		NewCategoricalKnob(KnobUnrollE, []int{0, 1}),
+	}
+	return newSpace(t.Name(), "dense", knobs)
+}

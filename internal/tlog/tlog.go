@@ -1,0 +1,186 @@
+// Package tlog provides persistent tuning logs in the spirit of AutoTVM's
+// .log files: every hardware measurement is one JSON line, logs can be
+// replayed into transfer-learning corpora, and the best configuration per
+// task can be looked up for deployment. A RecordingMeasurer wraps any
+// measure.Measurer so every tuner's measurements are captured
+// transparently.
+package tlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Entry is one logged measurement.
+type Entry struct {
+	Seq         int     `json:"seq"`
+	Device      string  `json:"device"`
+	Model       string  `json:"model"`
+	TaskIndex   int     `json:"task_index"`
+	TaskName    string  `json:"task_name"`
+	ConfigIndex int64   `json:"config_index"`
+	Valid       bool    `json:"valid"`
+	GFLOPS      float64 `json:"gflops,omitempty"`
+	TimeMS      float64 `json:"time_ms,omitempty"`
+	CostSec     float64 `json:"cost_sec"`
+	FailReason  string  `json:"fail_reason,omitempty"`
+}
+
+// Writer appends entries as JSON lines; it is safe for concurrent use.
+type Writer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Append writes one entry, assigning its sequence number.
+func (w *Writer) Append(e Entry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	e.Seq = w.seq
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.w.Write(data)
+	return err
+}
+
+// Read parses a JSONL log.
+func Read(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("tlog: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecordingMeasurer wraps a Measurer and logs every measurement.
+type RecordingMeasurer struct {
+	Inner measure.Measurer
+	Out   *Writer
+}
+
+// MeasureBatch measures through the inner measurer and logs the results.
+func (r *RecordingMeasurer) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	results, err := r.Inner.MeasureBatch(task, sp, idxs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		e := Entry{
+			Device:      r.Inner.DeviceName(),
+			Model:       task.Model,
+			TaskIndex:   task.Index,
+			TaskName:    task.Name(),
+			ConfigIndex: idxs[i],
+			Valid:       res.Valid,
+			GFLOPS:      res.GFLOPS,
+			TimeMS:      res.TimeMS,
+			CostSec:     res.CostSec,
+			FailReason:  res.FailReason,
+		}
+		if err := r.Out.Append(e); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// DeviceName identifies the wrapped device.
+func (r *RecordingMeasurer) DeviceName() string { return r.Inner.DeviceName() }
+
+// Best returns the best valid entry for a task name, or ok=false.
+func Best(entries []Entry, taskName string) (Entry, bool) {
+	best := Entry{}
+	found := false
+	for _, e := range entries {
+		if e.TaskName != taskName || !e.Valid {
+			continue
+		}
+		if !found || e.GFLOPS > best.GFLOPS {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// GPUSeconds totals the measurement cost in a log.
+func GPUSeconds(entries []Entry) float64 {
+	total := 0.0
+	for _, e := range entries {
+		total += e.CostSec
+	}
+	return total
+}
+
+// ToTransferData replays log entries of the given template kind into a
+// transfer-learning corpus: each entry's configuration is re-featurized
+// through its task's space. Entries from unknown models are skipped.
+func ToTransferData(entries []Entry, kind workload.Kind) (*tuner.TransferData, error) {
+	spaces := map[string]*space.Space{}
+	tasks := map[string]workload.Task{}
+	td := &tuner.TransferData{}
+	for _, e := range entries {
+		task, ok := tasks[e.TaskName]
+		if !ok {
+			var err error
+			task, err = workload.TaskByIndex(e.Model, e.TaskIndex)
+			if err != nil {
+				continue // foreign model; skip
+			}
+			tasks[e.TaskName] = task
+			sp, err := space.ForTask(task)
+			if err != nil {
+				return nil, err
+			}
+			spaces[e.TaskName] = sp
+		}
+		if task.Kind != kind {
+			continue
+		}
+		sp := spaces[e.TaskName]
+		if e.ConfigIndex < 0 || e.ConfigIndex >= sp.Size() {
+			return nil, fmt.Errorf("tlog: entry %d config index %d out of %s space", e.Seq, e.ConfigIndex, e.TaskName)
+		}
+		v := 0.0
+		if e.Valid {
+			v = e.GFLOPS
+		}
+		td.Features = append(td.Features, sp.FeaturesAt(e.ConfigIndex))
+		td.GFLOPS = append(td.GFLOPS, v)
+	}
+	if len(td.Features) == 0 {
+		return nil, fmt.Errorf("tlog: no entries of kind %v", kind)
+	}
+	return td, nil
+}

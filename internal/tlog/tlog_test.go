@@ -1,0 +1,155 @@
+package tlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	entries := []Entry{
+		{Device: "titan-xp", Model: "alexnet", TaskIndex: 1, TaskName: "alexnet.L1.conv2d",
+			ConfigIndex: 42, Valid: true, GFLOPS: 1234.5, TimeMS: 0.2, CostSec: 2.5},
+		{Device: "titan-xp", Model: "alexnet", TaskIndex: 1, TaskName: "alexnet.L1.conv2d",
+			ConfigIndex: 43, Valid: false, FailReason: "shared_mem_exceeded", CostSec: 1.2},
+	}
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("sequence numbers %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if got[0].GFLOPS != 1234.5 || got[1].FailReason != "shared_mem_exceeded" {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Blank lines are tolerated.
+	got, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("blank lines: %v %v", got, err)
+	}
+}
+
+func TestRecordingMeasurerCapturesTuningRun(t *testing.T) {
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	var buf bytes.Buffer
+	rec := &RecordingMeasurer{
+		Inner: measure.MustNewLocal(hwspec.TitanXp),
+		Out:   NewWriter(&buf),
+	}
+	if rec.DeviceName() != hwspec.TitanXp {
+		t.Fatalf("device %q", rec.DeviceName())
+	}
+	res, err := tuner.Random{BatchSize: 8}.Tune(task, sp, rec,
+		tuner.Budget{MaxMeasurements: 40}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != res.Measurements {
+		t.Fatalf("logged %d entries, session measured %d", len(entries), res.Measurements)
+	}
+	// Log totals match the session's accounting.
+	if got := GPUSeconds(entries); got < res.GPUSeconds-1e-9 || got > res.GPUSeconds+1e-9 {
+		t.Fatalf("log GPU seconds %g vs session %g", got, res.GPUSeconds)
+	}
+	best, ok := Best(entries, task.Name())
+	if !ok {
+		t.Fatal("no best in log")
+	}
+	if best.GFLOPS != res.BestGFLOPS || best.ConfigIndex != res.BestIndex {
+		t.Fatalf("log best %+v vs session best %g@%d", best, res.BestGFLOPS, res.BestIndex)
+	}
+}
+
+func TestBestIgnoresInvalidAndOtherTasks(t *testing.T) {
+	entries := []Entry{
+		{TaskName: "a", Valid: false, GFLOPS: 0},
+		{TaskName: "b", Valid: true, GFLOPS: 100},
+		{TaskName: "a", Valid: true, GFLOPS: 50},
+	}
+	best, ok := Best(entries, "a")
+	if !ok || best.GFLOPS != 50 {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+	if _, ok := Best(entries, "zzz"); ok {
+		t.Fatal("phantom best")
+	}
+}
+
+func TestToTransferDataReplaysLog(t *testing.T) {
+	task, err := workload.TaskByIndex(workload.AlexNet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(6)
+	var entries []Entry
+	for i := 0; i < 30; i++ {
+		idx := sp.RandomIndex(g)
+		entries = append(entries, Entry{
+			Model: task.Model, TaskIndex: task.Index, TaskName: task.Name(),
+			ConfigIndex: idx, Valid: true, GFLOPS: float64(100 + i),
+		})
+	}
+	// A dense entry of another kind must be filtered out.
+	dense, err := workload.TaskByIndex(workload.AlexNet, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries = append(entries, Entry{
+		Model: dense.Model, TaskIndex: dense.Index, TaskName: dense.Name(),
+		ConfigIndex: 1, Valid: true, GFLOPS: 1,
+	})
+
+	td, err := ToTransferData(entries, workload.Conv2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Features) != 30 {
+		t.Fatalf("corpus size %d want 30", len(td.Features))
+	}
+	if len(td.Features[0]) != sp.FeatureLen() {
+		t.Fatalf("feature width %d want %d", len(td.Features[0]), sp.FeatureLen())
+	}
+	// No conv entries → error.
+	if _, err := ToTransferData(entries, workload.WinogradConv2D); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	// Out-of-space config index → error.
+	bad := []Entry{{Model: task.Model, TaskIndex: task.Index, TaskName: task.Name(),
+		ConfigIndex: sp.Size() + 5, Valid: true}}
+	if _, err := ToTransferData(bad, workload.Conv2D); err == nil {
+		t.Fatal("bad config index accepted")
+	}
+}

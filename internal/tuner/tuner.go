@@ -1,0 +1,197 @@
+// Package tuner defines the tuning-session abstraction shared by every
+// compiler in the evaluation, and implements the hardware-agnostic
+// baselines the paper compares against: Random search, AutoTVM (gradient-
+// boosted cost model + simulated annealing, with optional transfer
+// learning), Chameleon (adaptive exploration + clustering-based sampling),
+// and DGP (deep Gaussian-process transfer). Glimpse itself lives in
+// internal/core and implements the same Tuner interface.
+package tuner
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Budget bounds a tuning session. Zero fields disable that bound; at least
+// one of MaxMeasurements / MaxGPUSeconds must be set.
+type Budget struct {
+	MaxMeasurements int
+	MaxGPUSeconds   float64
+	// Patience stops the session after this many consecutive batches whose
+	// best does not improve by more than Epsilon (relative). Zero disables.
+	Patience int
+	Epsilon  float64
+}
+
+func (b Budget) validate() error {
+	if b.MaxMeasurements <= 0 && b.MaxGPUSeconds <= 0 {
+		return fmt.Errorf("tuner: budget must bound measurements or GPU seconds")
+	}
+	return nil
+}
+
+// StepRecord snapshots progress after one measurement batch.
+type StepRecord struct {
+	Step         int
+	Measurements int
+	BestGFLOPS   float64
+	GPUSeconds   float64
+}
+
+// Result summarizes a tuning session.
+type Result struct {
+	TunerName    string
+	TaskName     string
+	BestIndex    int64
+	BestGFLOPS   float64
+	BestTimeMS   float64
+	Measurements int
+	Invalid      int
+	GPUSeconds   float64
+	Steps        int
+	Converged    bool
+	History      []StepRecord
+	// InitialBatch records the first batch's measured GFLOPS (Fig. 4).
+	InitialBatch []float64
+}
+
+// Tuner optimizes one task on one device within a budget.
+type Tuner interface {
+	Name() string
+	Tune(task workload.Task, sp *space.Space, m measure.Measurer, budget Budget, g *rng.RNG) (*Result, error)
+}
+
+// Session carries the shared bookkeeping of a tuning loop; exported so
+// Glimpse in internal/core can share the same budget/convergence logic.
+type Session struct {
+	task   workload.Task
+	sp     *space.Space
+	m      measure.Measurer
+	budget Budget
+	g      *rng.RNG
+
+	res          Result
+	sinceImprove int
+	stopped      bool
+}
+
+func NewSession(name string, task workload.Task, sp *space.Space, m measure.Measurer,
+	budget Budget, g *rng.RNG) (*Session, error) {
+	if err := budget.validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{task: task, sp: sp, m: m, budget: budget, g: g}
+	s.res.TunerName = name
+	s.res.TaskName = task.Name()
+	s.res.BestIndex = -1
+	return s, nil
+}
+
+// Remaining returns how many measurements may still run (capped at want).
+func (s *Session) Remaining(want int) int {
+	if s.budget.MaxMeasurements > 0 {
+		left := s.budget.MaxMeasurements - s.res.Measurements
+		if left < want {
+			want = left
+		}
+	}
+	if want < 0 {
+		want = 0
+	}
+	return want
+}
+
+// Done reports whether the session must stop.
+func (s *Session) Done() bool {
+	if s.stopped {
+		return true
+	}
+	if s.budget.MaxMeasurements > 0 && s.res.Measurements >= s.budget.MaxMeasurements {
+		return true
+	}
+	if s.budget.MaxGPUSeconds > 0 && s.res.GPUSeconds >= s.budget.MaxGPUSeconds {
+		return true
+	}
+	return false
+}
+
+// MeasureBatch runs one batch, updates bookkeeping, and applies the
+// convergence rule. It returns the raw results (aligned with idxs).
+func (s *Session) MeasureBatch(idxs []int64) ([]gpusim.Result, error) {
+	idxs = idxs[:s.Remaining(len(idxs))]
+	if len(idxs) == 0 {
+		s.stopped = true
+		return nil, nil
+	}
+	results, err := s.m.MeasureBatch(s.task, s.sp, idxs)
+	if err != nil {
+		return nil, err
+	}
+	prevBest := s.res.BestGFLOPS
+	for i, r := range results {
+		s.res.Measurements++
+		s.res.GPUSeconds += r.CostSec
+		if !r.Valid {
+			s.res.Invalid++
+			continue
+		}
+		if r.GFLOPS > s.res.BestGFLOPS {
+			s.res.BestGFLOPS = r.GFLOPS
+			s.res.BestTimeMS = r.TimeMS
+			s.res.BestIndex = idxs[i]
+		}
+	}
+	s.res.Steps++
+	s.res.History = append(s.res.History, StepRecord{
+		Step:         s.res.Steps,
+		Measurements: s.res.Measurements,
+		BestGFLOPS:   s.res.BestGFLOPS,
+		GPUSeconds:   s.res.GPUSeconds,
+	})
+	if s.budget.Patience > 0 {
+		improved := s.res.BestGFLOPS > prevBest*(1+s.budget.Epsilon)
+		if prevBest == 0 && s.res.BestGFLOPS > 0 {
+			improved = true
+		}
+		if improved {
+			s.sinceImprove = 0
+		} else {
+			s.sinceImprove++
+			if s.sinceImprove >= s.budget.Patience {
+				s.stopped = true
+				s.res.Converged = true
+			}
+		}
+	}
+	return results, nil
+}
+
+// RecordInitialBatch stores the measured GFLOPS of the first batch
+// (invalid measurements contribute 0), the quantity Fig. 4 plots.
+func (s *Session) RecordInitialBatch(results []gpusim.Result) {
+	if s.res.InitialBatch != nil {
+		return
+	}
+	for _, r := range results {
+		v := 0.0
+		if r.Valid {
+			v = r.GFLOPS
+		}
+		s.res.InitialBatch = append(s.res.InitialBatch, v)
+	}
+}
+
+// Finish returns a copy of the session result.
+func (s *Session) Finish() *Result {
+	out := s.res
+	return &out
+}
+
+// Snapshot returns a copy of the current session result without ending
+// the session.
+func (s *Session) Snapshot() Result { return s.res }

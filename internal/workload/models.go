@@ -1,0 +1,166 @@
+package workload
+
+import "fmt"
+
+// Model names used throughout the repository (matching the paper).
+const (
+	AlexNet  = "alexnet"
+	ResNet18 = "resnet-18"
+	VGG16    = "vgg-16"
+)
+
+// Models lists the evaluated networks in the paper's order.
+var Models = []string{AlexNet, ResNet18, VGG16}
+
+// convEntry pairs a convolution shape with its layer multiplicity.
+type convEntry struct {
+	shape   ConvShape
+	repeats int
+}
+
+// denseEntry pairs a dense shape with its layer multiplicity.
+type denseEntry struct {
+	shape   DenseShape
+	repeats int
+}
+
+// conv is shorthand for building conv entries (batch 1, ImageNet).
+func conv(inC, outC, h, w, k, stride, pad, repeats int) convEntry {
+	return convEntry{ConvShape{Batch: 1, InC: inC, OutC: outC, H: h, W: w, Kernel: k, Stride: stride, Pad: pad}, repeats}
+}
+
+// alexNetConvs are the five unique AlexNet convolution shapes (ImageNet).
+var alexNetConvs = []convEntry{
+	conv(3, 64, 227, 227, 11, 4, 0, 1),
+	conv(64, 192, 27, 27, 5, 1, 2, 1),
+	conv(192, 384, 13, 13, 3, 1, 1, 1),
+	conv(384, 256, 13, 13, 3, 1, 1, 1),
+	conv(256, 256, 13, 13, 3, 1, 1, 1),
+}
+
+// alexNetDense are the three fully connected layers.
+var alexNetDense = []denseEntry{
+	{DenseShape{Batch: 1, In: 9216, Out: 4096}, 1},
+	{DenseShape{Batch: 1, In: 4096, Out: 4096}, 1},
+	{DenseShape{Batch: 1, In: 4096, Out: 1000}, 1},
+}
+
+// vggConvs are the nine unique VGG-16 convolution shapes: thirteen layers
+// collapse to nine tasks because repeated same-shape layers share one task.
+var vggConvs = []convEntry{
+	conv(3, 64, 224, 224, 3, 1, 1, 1),
+	conv(64, 64, 224, 224, 3, 1, 1, 1),
+	conv(64, 128, 112, 112, 3, 1, 1, 1),
+	conv(128, 128, 112, 112, 3, 1, 1, 1),
+	conv(128, 256, 56, 56, 3, 1, 1, 1),
+	conv(256, 256, 56, 56, 3, 1, 1, 2),
+	conv(256, 512, 28, 28, 3, 1, 1, 1),
+	conv(512, 512, 28, 28, 3, 1, 1, 2),
+	conv(512, 512, 14, 14, 3, 1, 1, 3),
+}
+
+// vggDense are VGG-16's fully connected layers.
+var vggDense = []denseEntry{
+	{DenseShape{Batch: 1, In: 25088, Out: 4096}, 1},
+	{DenseShape{Batch: 1, In: 4096, Out: 4096}, 1},
+	{DenseShape{Batch: 1, In: 4096, Out: 1000}, 1},
+}
+
+// resNetConvs are the twelve unique ResNet-18 convolution shapes TVM's task
+// extraction produces: the 7×7 stem, per-stage 3×3 convolutions (entry with
+// stride 2 from stage 2 on, plus the stride-1 body conv), and the 1×1
+// downsample projections.
+var resNetConvs = []convEntry{
+	conv(3, 64, 224, 224, 7, 2, 3, 1),  // stem
+	conv(64, 64, 56, 56, 3, 1, 1, 4),   // stage1 body (2 blocks × 2 convs)
+	conv(64, 64, 56, 56, 1, 1, 0, 1),   // stage1 residual projection
+	conv(64, 128, 56, 56, 3, 2, 1, 1),  // stage2 entry
+	conv(128, 128, 28, 28, 3, 1, 1, 3), // stage2 body
+	conv(64, 128, 56, 56, 1, 2, 0, 1),  // stage2 downsample
+	conv(128, 256, 28, 28, 3, 2, 1, 1), // stage3 entry
+	conv(256, 256, 14, 14, 3, 1, 1, 3), // stage3 body
+	conv(128, 256, 28, 28, 1, 2, 0, 1), // stage3 downsample
+	conv(256, 512, 14, 14, 3, 2, 1, 1), // stage4 entry
+	conv(512, 512, 7, 7, 3, 1, 1, 3),   // stage4 body
+	conv(256, 512, 14, 14, 1, 2, 0, 1), // stage4 downsample
+}
+
+// resNetDense is the classifier head.
+var resNetDense = []denseEntry{{DenseShape{Batch: 1, In: 512, Out: 1000}, 1}}
+
+// winogradEligible reports whether the direct conv task also gets a
+// Winograd variant: stride-1 convolutions with spatial kernels, matching
+// TVM's winograd applicability (plus AlexNet's 5×5, giving the paper's
+// 4/9/4 winograd task counts).
+func winogradEligible(c ConvShape) bool {
+	return c.Stride == 1 && c.Kernel >= 3
+}
+
+// Tasks extracts the tuning tasks of a model in Table 1 order: direct
+// conv2d tasks, then winograd variants, then dense layers.
+func Tasks(model string) ([]Task, error) {
+	var convs []convEntry
+	var dense []denseEntry
+	switch model {
+	case AlexNet:
+		convs, dense = alexNetConvs, alexNetDense
+	case VGG16:
+		convs, dense = vggConvs, vggDense
+	case ResNet18:
+		convs, dense = resNetConvs, resNetDense
+	default:
+		return nil, fmt.Errorf("workload: unknown model %q", model)
+	}
+	var tasks []Task
+	idx := 1
+	for _, c := range convs {
+		tasks = append(tasks, Task{Model: model, Index: idx, Kind: Conv2D, Conv: c.shape, Repeats: c.repeats})
+		idx++
+	}
+	for _, c := range convs {
+		if winogradEligible(c.shape) {
+			tasks = append(tasks, Task{Model: model, Index: idx, Kind: WinogradConv2D, Conv: c.shape, Repeats: c.repeats})
+			idx++
+		}
+	}
+	for _, d := range dense {
+		tasks = append(tasks, Task{Model: model, Index: idx, Kind: Dense, Dense: d.shape, Repeats: d.repeats})
+		idx++
+	}
+	return tasks, nil
+}
+
+// MustTasks is Tasks for known-good model names.
+func MustTasks(model string) []Task {
+	t, err := Tasks(model)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TaskByIndex returns the 1-based task L<n> of a model.
+func TaskByIndex(model string, n int) (Task, error) {
+	tasks, err := Tasks(model)
+	if err != nil {
+		return Task{}, err
+	}
+	if n < 1 || n > len(tasks) {
+		return Task{}, fmt.Errorf("workload: %s has %d tasks, no L%d", model, len(tasks), n)
+	}
+	return tasks[n-1], nil
+}
+
+// ModelFLOPs sums the FLOPs of every task of the model (each task counted
+// once, matching how the end-to-end latency is assembled from task times).
+func ModelFLOPs(model string) (int64, error) {
+	tasks, err := Tasks(model)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, t := range tasks {
+		total += t.FLOPs()
+	}
+	return total, nil
+}
