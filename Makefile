@@ -1,0 +1,31 @@
+GO ?= go
+
+# Tier-1 gate: everything a PR must keep green.
+.PHONY: check
+check: vet build test race
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# Race pass over the concurrent layers (fleet orchestration, measurement
+# retry/breaker/failover, fault injection).
+.PHONY: race
+race:
+	$(GO) test -race ./internal/fleet/... ./internal/measure/... ./internal/faults/...
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+.PHONY: fmt
+fmt:
+	gofmt -w cmd internal examples

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	fleet -model resnet-18 -gpus titan-xp,rtx-3090 -tuner glimpse \
-//	      -budget 128 -out plans/ [-kernels] [-artifacts dir]
+//	      -budget 128 -out plans/ [-kernels] [-artifacts dir] \
+//	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s]
 //
 // With -tuner glimpse, offline artifacts are trained per target (cached
 // under -artifacts if given). Other tuners: autotvm, chameleon, random.
+//
+// Measurements run behind measure.Reliable (bounded retries with backoff,
+// per-device circuit breaker, batch deadline), so a degrading device yields
+// a partial plan instead of aborting the fleet. With -checkpoint, every
+// completed task is recorded in a JSONL file and a rerun with the same file
+// re-measures only the tasks that failed or never ran.
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/core"
 	"github.com/neuralcompile/glimpse/internal/fleet"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/metrics"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/tuner"
@@ -37,6 +46,9 @@ func main() {
 	kernels := flag.Bool("kernels", false, "embed generated kernel source in plans")
 	artifacts := flag.String("artifacts", "", "toolkit cache directory (glimpse only)")
 	seed := flag.Int64("seed", 1, "random seed")
+	ckptPath := flag.String("checkpoint", "", "JSONL checkpoint file (resume skips recorded tasks)")
+	retries := flag.Int("retries", 3, "measurement attempts per batch before giving up")
+	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "deadline per measurement batch")
 	flag.Parse()
 
 	var targets []string
@@ -83,6 +95,17 @@ func main() {
 		Model:           *model,
 		Budget:          tuner.Budget{MaxMeasurements: *budget, Patience: 4, Epsilon: 0.01},
 		GenerateKernels: *kernels,
+		NewMeasurer: func(gpu string) (measure.Measurer, error) {
+			local, err := measure.NewLocal(gpu)
+			if err != nil {
+				return nil, err
+			}
+			return measure.NewReliable(measure.ReliableConfig{
+				MaxAttempts:  *retries,
+				BatchTimeout: *batchTimeout,
+				Seed:         *seed,
+			}, local)
+		},
 		NewTuner: func(task workload.Task, gpu string) (tuner.Tuner, error) {
 			switch *tunerName {
 			case "glimpse":
@@ -103,6 +126,19 @@ func main() {
 		},
 	}
 
+	if *ckptPath != "" {
+		ck, err := fleet.OpenCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		defer ck.Close()
+		if n := ck.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fleet: resuming, %d tasks already checkpointed in %s\n", n, *ckptPath)
+		}
+		cfg.Checkpoint = ck
+	}
+
 	plans, err := fleet.TuneFleet(cfg, targets, g.Split("fleet"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
@@ -111,10 +147,17 @@ func main() {
 
 	table := metrics.NewTable(
 		fmt.Sprintf("Deployment plans: %s via %s (%d measurements/task)", *model, *tunerName, *budget),
-		"gpu", "latency ms", "GPU s", "measured", "invalid")
+		"gpu", "latency ms", "GPU s", "measured", "invalid", "failed", "resumed")
+	partial := 0
 	for _, p := range plans {
 		table.AddRowf(p.GPU, fmt.Sprintf("%.4f", p.LatencyMS), fmt.Sprintf("%.0f", p.GPUSeconds),
-			p.Measurements, p.Invalid)
+			p.Measurements, p.Invalid, p.FailedTasks, p.ResumedTasks)
+		if !p.Complete() {
+			partial++
+			for _, tp := range p.FailedTaskPlans() {
+				fmt.Fprintf(os.Stderr, "fleet: %s/%s failed: %s\n", p.GPU, tp.TaskName, tp.Error)
+			}
+		}
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "fleet:", err)
@@ -130,5 +173,12 @@ func main() {
 	fmt.Print(table.String())
 	if *out != "" {
 		fmt.Printf("plans written to %s/\n", *out)
+	}
+	if partial > 0 {
+		hint := ""
+		if *ckptPath != "" {
+			hint = fmt.Sprintf(" — rerun with -checkpoint %s to re-measure only the failed tasks", *ckptPath)
+		}
+		fmt.Fprintf(os.Stderr, "fleet: %d of %d plans are partial%s\n", partial, len(plans), hint)
 	}
 }

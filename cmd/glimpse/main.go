@@ -5,12 +5,18 @@
 //
 //	glimpse -model resnet-18 -gpu titan-xp [-tasks 1,7,17] [-budget 192]
 //	        [-seed N] [-compare] [-rpc addr] [-artifacts path] [-log path]
+//	        [-checkpoint path] [-fallback-local] [-retries 3]
 //
 // With -compare, AutoTVM runs on the same tasks for reference. With -rpc,
 // measurements go to a measurement server (cmd/measured) instead of the
-// in-process simulator. -artifacts caches the trained offline toolkit
-// (loaded when present, trained and saved otherwise); -log appends every
-// hardware measurement as a JSON line (AutoTVM-style tuning log).
+// in-process simulator; they then run behind measure.Reliable (batch
+// deadline, bounded retries, circuit breaker), and -fallback-local adds the
+// in-process simulator as a failover backend so tuning survives a dead
+// server. -artifacts caches the trained offline toolkit (loaded when
+// present, trained and saved otherwise); -log appends every hardware
+// measurement as a JSON line (AutoTVM-style tuning log). -checkpoint
+// records each finished task in a JSONL file; rerunning with the same file
+// skips them.
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/fleet"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/metrics"
@@ -41,6 +49,10 @@ func main() {
 	rpcAddr := flag.String("rpc", "", "measurement server address (default: in-process simulator)")
 	artifacts := flag.String("artifacts", "", "toolkit artifact cache path (load or train+save)")
 	logPath := flag.String("log", "", "append measurements to this JSONL tuning log")
+	ckptPath := flag.String("checkpoint", "", "JSONL checkpoint file (resume skips recorded tasks)")
+	fallbackLocal := flag.Bool("fallback-local", false, "with -rpc: fail over to the in-process simulator")
+	retries := flag.Int("retries", 3, "with -rpc: measurement attempts per batch")
+	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "with -rpc: deadline per measurement batch")
 	flag.Parse()
 
 	tasks, err := workload.Tasks(*model)
@@ -70,7 +82,22 @@ func main() {
 			fail(err)
 		}
 		defer remote.Close()
-		m = remote
+		chain := []measure.Measurer{remote}
+		if *fallbackLocal {
+			local, err := measure.NewLocal(*gpu)
+			if err != nil {
+				fail(err)
+			}
+			chain = append(chain, local)
+		}
+		m, err = measure.NewReliable(measure.ReliableConfig{
+			MaxAttempts:  *retries,
+			BatchTimeout: *batchTimeout,
+			Seed:         *seed,
+		}, chain...)
+		if err != nil {
+			fail(err)
+		}
 	} else {
 		local, err := measure.NewLocal(*gpu)
 		if err != nil {
@@ -111,11 +138,31 @@ func main() {
 		}
 	}
 
+	var ck *fleet.Checkpoint
+	if *ckptPath != "" {
+		ck, err = fleet.OpenCheckpoint(*ckptPath)
+		if err != nil {
+			fail(err)
+		}
+		defer ck.Close()
+		if n := ck.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d tasks already checkpointed in %s\n", n, *ckptPath)
+		}
+	}
+
 	bud := tuner.Budget{MaxMeasurements: *budget, Patience: 4, Epsilon: 0.01}
 	table := metrics.NewTable(
 		fmt.Sprintf("Glimpse tuning %s on %s (%d measurements/task)", *model, *gpu, *budget),
 		"task", "tuner", "best GFLOPS", "kernel ms", "measured", "invalid", "GPU s")
 	for _, task := range tasks {
+		if ck != nil {
+			if tp, ok := ck.Lookup(*model, *gpu, task.Name()); ok {
+				table.AddRowf(task.Name(), "glimpse*",
+					fmt.Sprintf("%.0f", tp.GFLOPS), fmt.Sprintf("%.4f", tp.TimeMS),
+					tp.Measurements, tp.Invalid, fmt.Sprintf("%.0f", tp.GPUSeconds))
+				continue
+			}
+		}
 		sp, err := space.ForTask(task)
 		if err != nil {
 			fail(err)
@@ -128,6 +175,24 @@ func main() {
 		table.AddRowf(task.Name(), "glimpse",
 			fmt.Sprintf("%.0f", res.BestGFLOPS), fmt.Sprintf("%.4f", res.BestTimeMS),
 			res.Measurements, res.Invalid, fmt.Sprintf("%.0f", res.GPUSeconds))
+		if ck != nil && res.BestIndex >= 0 {
+			tp := fleet.TaskPlan{
+				TaskName:     task.Name(),
+				TaskIndex:    task.Index,
+				Kind:         task.Kind.String(),
+				ConfigIndex:  res.BestIndex,
+				Schedule:     sp.Describe(sp.FromIndex(res.BestIndex)),
+				GFLOPS:       res.BestGFLOPS,
+				TimeMS:       res.BestTimeMS,
+				Repeats:      task.Repeats,
+				GPUSeconds:   res.GPUSeconds,
+				Measurements: res.Measurements,
+				Invalid:      res.Invalid,
+			}
+			if err := ck.Append(*model, *gpu, tp); err != nil {
+				fail(err)
+			}
+		}
 		if *compare {
 			ares, err := tuner.AutoTVM{}.Tune(task, sp, m, bud, g.Split("autotvm/"+task.Name()))
 			if err != nil {

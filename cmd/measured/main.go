@@ -2,9 +2,14 @@
 // the paper's measurement boards ("multiple generations of GPUs connected
 // via RPC"). cmd/glimpse -rpc <addr> tunes against it.
 //
+// Besides Measure/List it answers Measure.Ping health checks, and on
+// SIGINT/SIGTERM it shuts down gracefully: new batches are rejected,
+// in-flight batches drain (bounded by -drain), then connections close. A
+// second signal forces immediate shutdown.
+//
 // Usage:
 //
-//	measured [-addr 127.0.0.1:4817] [-gpus titan-xp,rtx-3090,...]
+//	measured [-addr 127.0.0.1:4817] [-gpus titan-xp,rtx-3090,...] [-drain 10s]
 package main
 
 import (
@@ -13,6 +18,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
@@ -21,6 +28,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4817", "listen address")
 	gpus := flag.String("gpus", strings.Join(hwspec.Targets, ","), "comma-separated GPUs to host")
+	drain := flag.Duration("drain", 10*time.Second, "max wait for in-flight batches on shutdown")
 	flag.Parse()
 
 	var names []string
@@ -37,10 +45,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "measured:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("measured: serving %v on %s\n", names, bound)
+	fmt.Printf("measured: serving %v on %s (health: Measure.Ping)\n", names, bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
+	fmt.Fprintf(os.Stderr, "measured: draining %d in-flight batches (signal again to force quit)\n",
+		srv.InFlight())
+	done := make(chan struct{})
+	go func() {
+		srv.DrainAndClose(*drain)
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Fprintln(os.Stderr, "measured: drained, bye")
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "measured: forced shutdown")
+		srv.Close()
+	}
 }

@@ -1,0 +1,184 @@
+// Package faults wraps a measure.Measurer with deterministic fault
+// injection, so every failure mode of fleet-scale tuning — flaky boards,
+// hung RPC links, devices dying mid-campaign, corrupted telemetry — is
+// reproducible in tests without real flakiness.
+//
+// Every injection decision is drawn from an rng stream keyed by the seed,
+// the task name, and that task's call sequence number, never from shared
+// mutable randomness. Two runs with the same seed therefore inject exactly
+// the same faults regardless of goroutine scheduling, which is what makes
+// fault-injected fleet tests assertable.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// ErrTransient is the (wrapped) error injected for transient failures —
+// the kind a retry should cure.
+var ErrTransient = errors.New("faults: injected transient error")
+
+// ErrCrashed is the (wrapped) error injected once a device has "died";
+// unlike ErrTransient it never goes away, so retries must exhaust and the
+// caller must fail over or record the loss.
+var ErrCrashed = errors.New("faults: device crashed")
+
+// Config selects which faults to inject. Rates are probabilities in [0,1].
+type Config struct {
+	// Seed drives every injection decision (keyed further by task and call
+	// sequence, so injection is independent of goroutine scheduling).
+	Seed int64
+	// TransientErrorRate is the per-call probability of ErrTransient.
+	TransientErrorRate float64
+	// HangRate is the per-call probability that the batch hangs for Hang
+	// (default 30s) before succeeding; a context deadline cuts it short
+	// with ctx.Err(). This is the half-open-connection simulation.
+	HangRate float64
+	Hang     time.Duration
+	// CrashAfterCalls kills the device for a task after that task's first
+	// N calls: call N+1 onward returns ErrCrashed forever. The counter is
+	// per task (not global) so the crash point does not depend on how
+	// concurrent tasks interleave. 0 disables.
+	CrashAfterCalls int
+	// CrashTasks restricts CrashAfterCalls to the named tasks
+	// (task.Name() keys); nil crashes every task.
+	CrashTasks map[string]bool
+	// CorruptRate is the per-result probability of corrupting a valid
+	// measurement with NaN/Inf/negative values while leaving it marked
+	// valid — the poison a sanitizer must catch.
+	CorruptRate float64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Calls      int
+	Transients int
+	Hangs      int
+	Crashes    int
+	Corrupted  int // individual results corrupted
+}
+
+// Injector is a fault-injecting measure.Measurer wrapper. It implements
+// measure.ContextMeasurer so injected hangs respect deadlines.
+type Injector struct {
+	inner measure.Measurer
+	cfg   Config
+
+	mu    sync.Mutex
+	seq   map[string]int // per-task call counter
+	stats Stats
+}
+
+// New wraps inner with fault injection per cfg.
+func New(inner measure.Measurer, cfg Config) *Injector {
+	if cfg.Hang <= 0 {
+		cfg.Hang = 30 * time.Second
+	}
+	return &Injector{inner: inner, cfg: cfg, seq: map[string]int{}}
+}
+
+// DeviceName identifies the wrapped device.
+func (in *Injector) DeviceName() string { return in.inner.DeviceName() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// MeasureBatch injects faults around the wrapped measurer.
+func (in *Injector) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	return in.MeasureBatchContext(context.Background(), task, sp, idxs)
+}
+
+// MeasureBatchContext injects faults, honoring ctx during injected hangs.
+func (in *Injector) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	in.mu.Lock()
+	in.seq[task.Name()]++
+	seq := in.seq[task.Name()]
+	in.stats.Calls++
+	in.mu.Unlock()
+	g := rng.New(in.cfg.Seed).Split(fmt.Sprintf("faults/%s/%d", task.Name(), seq))
+
+	if in.cfg.CrashAfterCalls > 0 && seq > in.cfg.CrashAfterCalls &&
+		(in.cfg.CrashTasks == nil || in.cfg.CrashTasks[task.Name()]) {
+		in.count(func(s *Stats) { s.Crashes++ })
+		return nil, fmt.Errorf("%w: %s call %d (device died after %d)",
+			ErrCrashed, task.Name(), seq, in.cfg.CrashAfterCalls)
+	}
+	if g.Bool(in.cfg.HangRate) {
+		in.count(func(s *Stats) { s.Hangs++ })
+		t := time.NewTimer(in.cfg.Hang)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("faults: injected hang on %s cut off: %w", task.Name(), ctx.Err())
+		case <-t.C:
+			// Hang elapsed without a deadline; fall through and succeed.
+		}
+	}
+	if g.Bool(in.cfg.TransientErrorRate) {
+		in.count(func(s *Stats) { s.Transients++ })
+		return nil, fmt.Errorf("%w: %s call %d", ErrTransient, task.Name(), seq)
+	}
+
+	var results []gpusim.Result
+	var err error
+	if cm, ok := in.inner.(measure.ContextMeasurer); ok {
+		results, err = cm.MeasureBatchContext(ctx, task, sp, idxs)
+	} else {
+		results, err = in.inner.MeasureBatch(task, sp, idxs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if in.cfg.CorruptRate > 0 {
+		results = in.corrupt(g, results)
+	}
+	return results, nil
+}
+
+// corrupt flips a fraction of valid results to NaN/Inf/negative values
+// while leaving Valid set — simulating a board returning garbage counters.
+func (in *Injector) corrupt(g *rng.RNG, results []gpusim.Result) []gpusim.Result {
+	out := append([]gpusim.Result(nil), results...)
+	n := 0
+	for i := range out {
+		if !out[i].Valid || !g.Bool(in.cfg.CorruptRate) {
+			continue
+		}
+		switch g.Intn(4) {
+		case 0:
+			out[i].GFLOPS = math.NaN()
+		case 1:
+			out[i].GFLOPS = math.Inf(1)
+		case 2:
+			out[i].GFLOPS = -out[i].GFLOPS
+		default:
+			out[i].TimeMS = -out[i].TimeMS
+		}
+		n++
+	}
+	if n > 0 {
+		in.count(func(s *Stats) { s.Corrupted += n })
+	}
+	return out
+}
+
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}

@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func setup(t *testing.T) (workload.Task, *space.Space, []int64) {
+	t.Helper()
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	g := rng.New(11)
+	idxs := []int64{sp.RandomIndex(g), sp.RandomIndex(g)}
+	return task, sp, idxs
+}
+
+// errorSequence records which calls fail over n calls.
+func errorSequence(t *testing.T, in *Injector, n int) []bool {
+	t.Helper()
+	task, sp, idxs := setup(t)
+	out := make([]bool, n)
+	for i := range out {
+		_, err := in.MeasureBatch(task, sp, idxs)
+		out[i] = err != nil
+	}
+	return out
+}
+
+func TestInjectionDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Seed: 42, TransientErrorRate: 0.3}
+	a := errorSequence(t, New(measure.MustNewLocal(hwspec.TitanXp), cfg), 64)
+	b := errorSequence(t, New(measure.MustNewLocal(hwspec.TitanXp), cfg), 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across identically-seeded injectors", i)
+		}
+	}
+	failures := 0
+	for _, f := range a {
+		if f {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Fatalf("transient rate 0.3 produced %d/%d failures", failures, len(a))
+	}
+}
+
+func TestInjectionIndependentOfTaskInterleaving(t *testing.T) {
+	taskA, spA, idxsA := setup(t)
+	taskB, err := workload.TaskByIndex(workload.ResNet18, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB := space.MustForTask(taskB)
+	idxsB := []int64{spB.RandomIndex(rng.New(3))}
+	cfg := Config{Seed: 7, TransientErrorRate: 0.4}
+
+	// Run A's calls first, then B's.
+	in1 := New(measure.MustNewLocal(hwspec.TitanXp), cfg)
+	var seq1 []bool
+	for i := 0; i < 16; i++ {
+		_, err := in1.MeasureBatch(taskA, spA, idxsA)
+		seq1 = append(seq1, err != nil)
+	}
+	for i := 0; i < 16; i++ {
+		_, err := in1.MeasureBatch(taskB, spB, idxsB)
+		seq1 = append(seq1, err != nil)
+	}
+	// Interleave them; per-task outcomes must be identical.
+	in2 := New(measure.MustNewLocal(hwspec.TitanXp), cfg)
+	var seqA, seqB []bool
+	for i := 0; i < 16; i++ {
+		_, errB := in2.MeasureBatch(taskB, spB, idxsB)
+		seqB = append(seqB, errB != nil)
+		_, errA := in2.MeasureBatch(taskA, spA, idxsA)
+		seqA = append(seqA, errA != nil)
+	}
+	for i := 0; i < 16; i++ {
+		if seqA[i] != seq1[i] {
+			t.Fatalf("task A call %d depends on interleaving", i)
+		}
+		if seqB[i] != seq1[16+i] {
+			t.Fatalf("task B call %d depends on interleaving", i)
+		}
+	}
+}
+
+func TestCrashAfterCallsIsPermanentAndPerTask(t *testing.T) {
+	task, sp, idxs := setup(t)
+	in := New(measure.MustNewLocal(hwspec.TitanXp),
+		Config{Seed: 1, CrashAfterCalls: 2, CrashTasks: map[string]bool{task.Name(): true}})
+	for i := 0; i < 2; i++ {
+		if _, err := in.MeasureBatch(task, sp, idxs); err != nil {
+			t.Fatalf("call %d before crash point failed: %v", i+1, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, err := in.MeasureBatch(task, sp, idxs)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("call %d after crash: err = %v, want ErrCrashed", 3+i, err)
+		}
+	}
+	// A task outside CrashTasks never crashes.
+	other, err := workload.TaskByIndex(workload.ResNet18, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spO := space.MustForTask(other)
+	for i := 0; i < 5; i++ {
+		if _, err := in.MeasureBatch(other, spO, []int64{0}); err != nil {
+			t.Fatalf("uncrashed task failed: %v", err)
+		}
+	}
+	if s := in.Stats(); s.Crashes != 3 {
+		t.Fatalf("Crashes = %d, want 3", s.Crashes)
+	}
+}
+
+func TestCorruptionProducesPoisonValues(t *testing.T) {
+	task, sp, _ := setup(t)
+	// Pick configurations that measure as valid, so there is a measurement
+	// worth corrupting.
+	local := measure.MustNewLocal(hwspec.TitanXp)
+	g := rng.New(21)
+	var idxs []int64
+	for len(idxs) < 2 {
+		idx := sp.RandomIndex(g)
+		res, err := local.MeasureBatch(task, sp, []int64{idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Valid {
+			idxs = append(idxs, idx)
+		}
+	}
+	in := New(measure.MustNewLocal(hwspec.TitanXp), Config{Seed: 5, CorruptRate: 1})
+	poisoned := 0
+	for call := 0; call < 8 && poisoned == 0; call++ {
+		results, err := in.MeasureBatch(task, sp, idxs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Valid {
+				continue
+			}
+			if math.IsNaN(r.GFLOPS) || math.IsInf(r.GFLOPS, 0) || r.GFLOPS < 0 || r.TimeMS < 0 {
+				poisoned++
+			}
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("CorruptRate=1 produced no poison values in valid results")
+	}
+	if in.Stats().Corrupted == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestInjectedHangRespectsDeadline(t *testing.T) {
+	task, sp, idxs := setup(t)
+	in := New(measure.MustNewLocal(hwspec.TitanXp),
+		Config{Seed: 1, HangRate: 1, Hang: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := in.MeasureBatchContext(ctx, task, sp, idxs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang not cut off: took %v", elapsed)
+	}
+	if in.Stats().Hangs != 1 {
+		t.Fatalf("Hangs = %d", in.Stats().Hangs)
+	}
+}

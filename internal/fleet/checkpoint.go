@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/tlog"
+)
+
+// checkpointLine is one completed task on one (model, gpu), as a JSON line.
+type checkpointLine struct {
+	Model string   `json:"model"`
+	GPU   string   `json:"gpu"`
+	Task  TaskPlan `json:"task"`
+}
+
+// Checkpoint is an append-only JSONL record of completed task plans, so a
+// killed tuning campaign resumes per task instead of re-measuring work it
+// already paid GPU-hours for. One checkpoint file serves a whole fleet run:
+// entries are keyed by (model, gpu, task). It is safe for concurrent use by
+// the per-task and per-GPU goroutines of a fleet session, and tolerates a
+// truncated final line from a previous kill (see tlog.ReadJSONLines).
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]TaskPlan
+}
+
+func checkpointKey(model, gpu, taskName string) string {
+	return model + "\x00" + gpu + "\x00" + taskName
+}
+
+// OpenCheckpoint opens (creating if absent) a checkpoint file and loads
+// the tasks it already records. Failed task plans are never checkpointed,
+// so everything loaded is reusable. A file whose writer was killed
+// mid-append is repaired: an unterminated final line is kept if it parses
+// as JSON (the kill landed between the bytes and the newline) and
+// truncated away otherwise, so the next append starts on a clean line.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c := &Checkpoint{f: f, done: map[string]TaskPlan{}}
+	err = tlog.ReadJSONLines(bytes.NewReader(data), func(line []byte) error {
+		var cl checkpointLine
+		if err := json.Unmarshal(line, &cl); err != nil {
+			return err
+		}
+		if cl.Model == "" || cl.GPU == "" || cl.Task.TaskName == "" {
+			return fmt.Errorf("fleet: checkpoint entry missing model/gpu/task")
+		}
+		c.done[checkpointKey(cl.Model, cl.GPU, cl.Task.TaskName)] = cl.Task
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: checkpoint %s: %w", path, err)
+	}
+	if err := repairTail(f, data); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// repairTail leaves f positioned at the end of the last complete line,
+// terminating or discarding a partial trailing write.
+func repairTail(f *os.File, data []byte) error {
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		_, err := f.Seek(int64(len(data)), io.SeekStart)
+		return err
+	}
+	cut := bytes.LastIndexByte(data, '\n') + 1
+	if tail := bytes.TrimSpace(data[cut:]); json.Valid(tail) {
+		// Complete JSON missing only its newline: terminate it in place.
+		if _, err := f.Seek(int64(len(data)), io.SeekStart); err != nil {
+			return err
+		}
+		_, err := f.Write([]byte("\n"))
+		return err
+	}
+	if err := f.Truncate(int64(cut)); err != nil {
+		return err
+	}
+	_, err := f.Seek(int64(cut), io.SeekStart)
+	return err
+}
+
+// Lookup returns the checkpointed plan for a task, if any.
+func (c *Checkpoint) Lookup(model, gpu, taskName string) (TaskPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tp, ok := c.done[checkpointKey(model, gpu, taskName)]
+	return tp, ok
+}
+
+// Append durably records one completed task. Failed plans are skipped —
+// a resumed session must re-measure them.
+func (c *Checkpoint) Append(model, gpu string, tp TaskPlan) error {
+	if tp.Failed {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := tlog.AppendJSONLine(c.f, checkpointLine{Model: model, GPU: gpu, Task: tp}); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.done[checkpointKey(model, gpu, tp.TaskName)] = tp
+	return nil
+}
+
+// Len reports how many tasks are checkpointed.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Close releases the underlying file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

@@ -20,7 +20,10 @@ import (
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
-// TaskPlan is the deployment decision for one tuning task.
+// TaskPlan is the deployment decision for one tuning task. A task whose
+// tuning session failed (device crash, exhausted retries, no valid
+// configuration) is recorded with Failed set and the error preserved, so a
+// partial plan still documents exactly what was lost.
 type TaskPlan struct {
 	TaskName    string  `json:"task"`
 	TaskIndex   int     `json:"task_index"`
@@ -31,9 +34,20 @@ type TaskPlan struct {
 	TimeMS      float64 `json:"time_ms"`
 	Repeats     int     `json:"repeats"`
 	Kernel      string  `json:"kernel,omitempty"`
+	// Per-task measurement accounting (also what checkpoint resume
+	// restores without re-measuring).
+	GPUSeconds   float64 `json:"gpu_seconds,omitempty"`
+	Measurements int     `json:"measurements,omitempty"`
+	Invalid      int     `json:"invalid,omitempty"`
+	// Failure bookkeeping.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// FromCheckpoint marks a task restored from a previous session.
+	FromCheckpoint bool `json:"from_checkpoint,omitempty"`
 }
 
-// Plan is the deployment artifact for one model on one GPU.
+// Plan is the deployment artifact for one model on one GPU. A plan with
+// FailedTasks > 0 is partial: its latency covers only the surviving tasks.
 type Plan struct {
 	Model        string     `json:"model"`
 	GPU          string     `json:"gpu"`
@@ -42,6 +56,22 @@ type Plan struct {
 	GPUSeconds   float64    `json:"gpu_seconds"`
 	Measurements int        `json:"measurements"`
 	Invalid      int        `json:"invalid"`
+	FailedTasks  int        `json:"failed_tasks,omitempty"`
+	ResumedTasks int        `json:"resumed_tasks,omitempty"`
+}
+
+// Complete reports whether every task produced a deployable configuration.
+func (p *Plan) Complete() bool { return p.FailedTasks == 0 }
+
+// FailedTaskPlans returns the tasks that did not survive tuning.
+func (p *Plan) FailedTaskPlans() []TaskPlan {
+	var out []TaskPlan
+	for _, tp := range p.Tasks {
+		if tp.Failed {
+			out = append(out, tp)
+		}
+	}
+	return out
 }
 
 // Config controls a fleet tuning session.
@@ -59,6 +89,13 @@ type Config struct {
 	NewTuner func(task workload.Task, gpu string) (tuner.Tuner, error)
 	// GenerateKernels embeds generated kernel source in the plan.
 	GenerateKernels bool
+	// NewMeasurer overrides how TuneFleet builds each GPU's measurer
+	// (default measure.NewLocal) — the hook for reliability wrappers and
+	// fault injection.
+	NewMeasurer func(gpu string) (measure.Measurer, error)
+	// Checkpoint, when set, records each completed task and lets a
+	// resumed session skip tasks already recorded for (model, gpu).
+	Checkpoint *Checkpoint
 }
 
 func (c *Config) resolve() error {
@@ -81,6 +118,13 @@ func (c *Config) resolve() error {
 // TuneModel tunes every configured task of the model on one device and
 // assembles the deployment plan. Per-task randomness is derived from the
 // task name, so results do not depend on goroutine scheduling.
+//
+// Per-task failures (device crash, exhausted retries, no valid
+// configuration, codegen errors) do not abort the session: the failed task
+// is recorded in the plan with Failed set and tuning of the other tasks
+// continues, so nine hours of completed measurements survive one dead
+// board. Only configuration errors and checkpoint I/O failures return an
+// error.
 func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 	if err := cfg.resolve(); err != nil {
 		return nil, err
@@ -89,8 +133,7 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 
 	type outcome struct {
 		tp  TaskPlan
-		res *tuner.Result
-		err error
+		err error // fatal (checkpoint I/O), not a task failure
 	}
 	sem := make(chan struct{}, cfg.Parallelism)
 	results := make([]outcome, len(cfg.Tasks))
@@ -102,44 +145,72 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
+			failed := func(err error) {
+				results[i] = outcome{tp: TaskPlan{
+					TaskName:    task.Name(),
+					TaskIndex:   task.Index,
+					Kind:        task.Kind.String(),
+					ConfigIndex: -1,
+					Repeats:     task.Repeats,
+					Failed:      true,
+					Error:       err.Error(),
+				}}
+			}
+
+			if cfg.Checkpoint != nil {
+				if tp, ok := cfg.Checkpoint.Lookup(cfg.Model, m.DeviceName(), task.Name()); ok {
+					tp.FromCheckpoint = true
+					results[i] = outcome{tp: tp}
+					return
+				}
+			}
 			sp, err := space.ForTask(task)
 			if err != nil {
-				results[i] = outcome{err: err}
+				failed(err)
 				return
 			}
 			tn, err := cfg.NewTuner(task, m.DeviceName())
 			if err != nil {
-				results[i] = outcome{err: err}
+				failed(err)
 				return
 			}
 			res, err := tn.Tune(task, sp, m, cfg.Budget, g.Split("fleet/"+task.Name()))
 			if err != nil {
-				results[i] = outcome{err: fmt.Errorf("fleet: %s: %w", task.Name(), err)}
+				failed(fmt.Errorf("fleet: %s: %w", task.Name(), err))
 				return
 			}
 			if res.BestIndex < 0 {
-				results[i] = outcome{err: fmt.Errorf("fleet: %s: no valid configuration found", task.Name())}
+				failed(fmt.Errorf("fleet: %s: no valid configuration found", task.Name()))
 				return
 			}
 			tp := TaskPlan{
-				TaskName:    task.Name(),
-				TaskIndex:   task.Index,
-				Kind:        task.Kind.String(),
-				ConfigIndex: res.BestIndex,
-				Schedule:    sp.Describe(sp.FromIndex(res.BestIndex)),
-				GFLOPS:      res.BestGFLOPS,
-				TimeMS:      res.BestTimeMS,
-				Repeats:     task.Repeats,
+				TaskName:     task.Name(),
+				TaskIndex:    task.Index,
+				Kind:         task.Kind.String(),
+				ConfigIndex:  res.BestIndex,
+				Schedule:     sp.Describe(sp.FromIndex(res.BestIndex)),
+				GFLOPS:       res.BestGFLOPS,
+				TimeMS:       res.BestTimeMS,
+				Repeats:      task.Repeats,
+				GPUSeconds:   res.GPUSeconds,
+				Measurements: res.Measurements,
+				Invalid:      res.Invalid,
 			}
 			if cfg.GenerateKernels {
 				kern, err := codegen.Lower(task, sp, sp.FromIndex(res.BestIndex))
 				if err != nil {
-					results[i] = outcome{err: err}
+					failed(err)
 					return
 				}
 				tp.Kernel = kern.Render()
 			}
-			results[i] = outcome{tp: tp, res: res}
+			if cfg.Checkpoint != nil {
+				if err := cfg.Checkpoint.Append(cfg.Model, m.DeviceName(), tp); err != nil {
+					results[i] = outcome{tp: tp, err: fmt.Errorf("fleet: checkpoint %s: %w", task.Name(), err)}
+					return
+				}
+			}
+			results[i] = outcome{tp: tp}
 		}(i, task)
 	}
 	wg.Wait()
@@ -149,9 +220,16 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 			return nil, o.err
 		}
 		plan.Tasks = append(plan.Tasks, o.tp)
-		plan.GPUSeconds += o.res.GPUSeconds
-		plan.Measurements += o.res.Measurements
-		plan.Invalid += o.res.Invalid
+		if o.tp.Failed {
+			plan.FailedTasks++
+			continue
+		}
+		if o.tp.FromCheckpoint {
+			plan.ResumedTasks++
+		}
+		plan.GPUSeconds += o.tp.GPUSeconds
+		plan.Measurements += o.tp.Measurements
+		plan.Invalid += o.tp.Invalid
 	}
 	plan.LatencyMS = assembleLatency(cfg.Tasks, plan.Tasks)
 	return plan, nil
@@ -162,6 +240,9 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 func assembleLatency(tasks []workload.Task, plans []TaskPlan) float64 {
 	byIndex := map[int]TaskPlan{}
 	for _, tp := range plans {
+		if tp.Failed {
+			continue // partial plan: latency covers surviving tasks only
+		}
 		byIndex[tp.TaskIndex] = tp
 	}
 	bestConv := map[workload.ConvShape]float64{}
@@ -188,8 +269,16 @@ func assembleLatency(tasks []workload.Task, plans []TaskPlan) float64 {
 }
 
 // TuneFleet tunes the model on every named GPU concurrently (one in-
-// process simulated device each) and returns the plans in input order.
+// process simulated device each unless Config.NewMeasurer overrides) and
+// returns the plans in input order. A GPU whose tuning degrades mid-run
+// yields a partial plan (see TuneModel) without affecting the other
+// devices; only configuration errors — an unknown GPU name, a measurer
+// that cannot be built — abort the fleet.
 func TuneFleet(cfg Config, gpus []string, g *rng.RNG) ([]*Plan, error) {
+	newMeasurer := cfg.NewMeasurer
+	if newMeasurer == nil {
+		newMeasurer = func(gpu string) (measure.Measurer, error) { return measure.NewLocal(gpu) }
+	}
 	plans := make([]*Plan, len(gpus))
 	errs := make([]error, len(gpus))
 	var wg sync.WaitGroup
@@ -197,9 +286,9 @@ func TuneFleet(cfg Config, gpus []string, g *rng.RNG) ([]*Plan, error) {
 		wg.Add(1)
 		go func(i int, gpu string) {
 			defer wg.Done()
-			m, err := measure.NewLocal(gpu)
+			m, err := newMeasurer(gpu)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("fleet: measurer for %s: %w", gpu, err)
 				return
 			}
 			plans[i], errs[i] = TuneModel(cfg, m, g.Split("device/"+gpu))

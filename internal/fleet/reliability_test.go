@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/faults"
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// countingMeasurer records which tasks were actually measured.
+type countingMeasurer struct {
+	inner measure.Measurer
+	mu    sync.Mutex
+	tasks map[string]int
+}
+
+func newCounting(inner measure.Measurer) *countingMeasurer {
+	return &countingMeasurer{inner: inner, tasks: map[string]int{}}
+}
+
+func (c *countingMeasurer) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	c.mu.Lock()
+	c.tasks[task.Name()]++
+	c.mu.Unlock()
+	return c.inner.MeasureBatch(task, sp, idxs)
+}
+
+func (c *countingMeasurer) DeviceName() string { return c.inner.DeviceName() }
+
+func (c *countingMeasurer) measured() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{}
+	for k, v := range c.tasks {
+		out[k] = v
+	}
+	return out
+}
+
+func taskName(t *testing.T, model string, index int) string {
+	t.Helper()
+	task, err := workload.TaskByIndex(model, index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task.Name()
+}
+
+func TestTuneModelPartialPlanOnDeviceCrash(t *testing.T) {
+	crash := taskName(t, workload.ResNet18, 17)
+	cfg := Config{
+		Model:    workload.ResNet18,
+		Tasks:    subset(t, workload.ResNet18, 2, 13, 17),
+		Budget:   tuner.Budget{MaxMeasurements: 48},
+		NewTuner: randomTunerFactory,
+	}
+	inj := faults.New(measure.MustNewLocal(hwspec.TitanXp),
+		faults.Config{Seed: 1, CrashAfterCalls: 1, CrashTasks: map[string]bool{crash: true}})
+	plan, err := TuneModel(cfg, inj, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tasks) != 3 {
+		t.Fatalf("plan has %d tasks, want 3 (failed ones included)", len(plan.Tasks))
+	}
+	if plan.FailedTasks != 1 || plan.Complete() {
+		t.Fatalf("FailedTasks = %d, Complete = %v", plan.FailedTasks, plan.Complete())
+	}
+	failed := plan.FailedTaskPlans()
+	if len(failed) != 1 || failed[0].TaskName != crash {
+		t.Fatalf("failed tasks %+v, want exactly %s", failed, crash)
+	}
+	if !strings.Contains(failed[0].Error, "crashed") {
+		t.Fatalf("failure cause lost: %q", failed[0].Error)
+	}
+	if failed[0].ConfigIndex != -1 || failed[0].GFLOPS != 0 {
+		t.Fatalf("failed task carries stale results: %+v", failed[0])
+	}
+	// The two surviving tasks still produced a deployable partial plan.
+	if plan.LatencyMS <= 0 || plan.Measurements != 2*48 {
+		t.Fatalf("latency %g measurements %d", plan.LatencyMS, plan.Measurements)
+	}
+}
+
+// faultyFleetMeasurer builds the acceptance scenario: every device flakes
+// transiently at 20%, one crashes for one task after its first call, and
+// all of it sits behind a Reliable wrapper that retries. BreakerThreshold
+// is set high so task outcomes stay independent of goroutine interleaving
+// (breaker dynamics are covered deterministically in measure's own tests).
+func faultyFleetMeasurer(crashGPU, crashTask string, seed int64) func(gpu string) (measure.Measurer, error) {
+	return func(gpu string) (measure.Measurer, error) {
+		local, err := measure.NewLocal(gpu)
+		if err != nil {
+			return nil, err
+		}
+		fcfg := faults.Config{Seed: seed, TransientErrorRate: 0.2}
+		if gpu == crashGPU {
+			fcfg.CrashAfterCalls = 1
+			fcfg.CrashTasks = map[string]bool{crashTask: true}
+		}
+		return measure.NewReliable(measure.ReliableConfig{
+			MaxAttempts:      4,
+			BreakerThreshold: 1000,
+			Seed:             seed,
+			Sleep:            func(time.Duration) {},
+		}, faults.New(local, fcfg))
+	}
+}
+
+func TestTuneFleetSurvivesFaultyDeviceDeterministically(t *testing.T) {
+	gpus := []string{hwspec.TitanXp, hwspec.RTX2070Super, hwspec.RTX2080Ti, hwspec.RTX3090}
+	crashTask := taskName(t, workload.ResNet18, 17)
+	run := func() []*Plan {
+		cfg := Config{
+			Model:       workload.ResNet18,
+			Tasks:       subset(t, workload.ResNet18, 2, 13, 17),
+			Budget:      tuner.Budget{MaxMeasurements: 48},
+			NewTuner:    randomTunerFactory,
+			NewMeasurer: faultyFleetMeasurer(hwspec.RTX2080Ti, crashTask, 99),
+		}
+		plans, err := TuneFleet(cfg, gpus, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plans
+	}
+	plans := run()
+	if len(plans) != 4 {
+		t.Fatalf("%d plans", len(plans))
+	}
+	full := 0
+	for _, p := range plans {
+		if p.Complete() {
+			full++
+			if p.LatencyMS <= 0 {
+				t.Fatalf("complete plan for %s has latency %g", p.GPU, p.LatencyMS)
+			}
+		}
+	}
+	if full != 3 {
+		t.Fatalf("%d full plans, want 3", full)
+	}
+	partial := plans[2] // the crashing device
+	if partial.Complete() || partial.GPU != hwspec.RTX2080Ti {
+		t.Fatalf("expected partial plan for %s, got %+v", hwspec.RTX2080Ti, partial)
+	}
+	failed := partial.FailedTaskPlans()
+	if len(failed) != 1 || failed[0].TaskName != crashTask || failed[0].Error == "" {
+		t.Fatalf("partial plan failures: %+v", failed)
+	}
+	// 20% transient flakiness was absorbed by retries on every device.
+	if partial.LatencyMS <= 0 || len(partial.Tasks) != 3 {
+		t.Fatalf("partial plan lost surviving tasks: %+v", partial)
+	}
+	// Identical seeds reproduce the identical outcome, faults included.
+	again := run()
+	if !reflect.DeepEqual(plans, again) {
+		t.Fatal("fault-injected fleet run is not deterministic under a fixed seed")
+	}
+}
+
+func TestFleetResumeRemeasuresOnlyFailedTasks(t *testing.T) {
+	crash := taskName(t, workload.ResNet18, 17)
+	path := filepath.Join(t.TempDir(), "fleet.ckpt.jsonl")
+	cfg := Config{
+		Model:    workload.ResNet18,
+		Tasks:    subset(t, workload.ResNet18, 2, 13, 17),
+		Budget:   tuner.Budget{MaxMeasurements: 48},
+		NewTuner: randomTunerFactory,
+	}
+
+	// Session 1: the device dies for one task; the other two are
+	// checkpointed as they complete.
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = ck
+	inj := faults.New(measure.MustNewLocal(hwspec.TitanXp),
+		faults.Config{Seed: 1, CrashAfterCalls: 1, CrashTasks: map[string]bool{crash: true}})
+	plan1, err := TuneModel(cfg, inj, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan1.FailedTasks != 1 || ck.Len() != 2 {
+		t.Fatalf("session 1: failed %d, checkpointed %d", plan1.FailedTasks, ck.Len())
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: resumed against a healthy device — only the crashed task
+	// is measured again.
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	cfg.Checkpoint = ck2
+	counting := newCounting(measure.MustNewLocal(hwspec.TitanXp))
+	plan2, err := TuneModel(cfg, counting, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan2.Complete() {
+		t.Fatalf("resumed plan still failed: %+v", plan2.FailedTaskPlans())
+	}
+	if plan2.ResumedTasks != 2 {
+		t.Fatalf("ResumedTasks = %d, want 2", plan2.ResumedTasks)
+	}
+	measured := counting.measured()
+	if len(measured) != 1 || measured[crash] == 0 {
+		t.Fatalf("resume re-measured %v, want only %s", measured, crash)
+	}
+	resumed := 0
+	for _, tp := range plan2.Tasks {
+		if tp.FromCheckpoint {
+			resumed++
+			if tp.TaskName == crash {
+				t.Fatal("failed task restored from checkpoint")
+			}
+		}
+	}
+	if resumed != 2 {
+		t.Fatalf("%d tasks marked FromCheckpoint", resumed)
+	}
+	// Plan totals still account for the GPU time paid in session 1.
+	if plan2.Measurements != 3*48 {
+		t.Fatalf("resumed plan measurements %d, want %d", plan2.Measurements, 3*48)
+	}
+	if ck2.Len() != 3 {
+		t.Fatalf("checkpoint holds %d tasks after resume, want 3", ck2.Len())
+	}
+
+	// Session 3: everything checkpointed — nothing is measured at all.
+	ck3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck3.Close()
+	cfg.Checkpoint = ck3
+	counting3 := newCounting(measure.MustNewLocal(hwspec.TitanXp))
+	plan3, err := TuneModel(cfg, counting3, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counting3.measured()) != 0 {
+		t.Fatalf("fully-checkpointed run measured %v", counting3.measured())
+	}
+	if plan3.ResumedTasks != 3 || !plan3.Complete() {
+		t.Fatalf("session 3 plan: %+v", plan3)
+	}
+	if plan3.LatencyMS != plan2.LatencyMS {
+		t.Fatalf("latency drifted across resume: %g vs %g", plan3.LatencyMS, plan2.LatencyMS)
+	}
+}
+
+func TestCheckpointSurvivesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := TaskPlan{TaskName: "alexnet/conv-1", TaskIndex: 1, ConfigIndex: 7, GFLOPS: 100, TimeMS: 1}
+	if err := ck.Append(workload.AlexNet, hwspec.TitanXp, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: garbage without a trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"model":"alexnet","gpu":"titan-`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("truncated checkpoint rejected: %v", err)
+	}
+	if ck2.Len() != 1 {
+		t.Fatalf("loaded %d entries, want 1", ck2.Len())
+	}
+	if _, ok := ck2.Lookup(workload.AlexNet, hwspec.TitanXp, "alexnet/conv-1"); !ok {
+		t.Fatal("intact entry lost")
+	}
+	// Appending after repair keeps the file parseable.
+	second := TaskPlan{TaskName: "alexnet/conv-2", TaskIndex: 2, ConfigIndex: 3, GFLOPS: 50, TimeMS: 2}
+	if err := ck2.Append(workload.AlexNet, hwspec.TitanXp, second); err != nil {
+		t.Fatal(err)
+	}
+	ck2.Close()
+	ck3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck3.Close()
+	if ck3.Len() != 2 {
+		t.Fatalf("after repair+append: %d entries, want 2", ck3.Len())
+	}
+}
+
+func TestCheckpointIgnoresFailedPlans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	bad := TaskPlan{TaskName: "x", TaskIndex: 1, Failed: true, Error: "boom"}
+	if err := ck.Append(workload.AlexNet, hwspec.TitanXp, bad); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != 0 {
+		t.Fatal("failed task checkpointed")
+	}
+	if _, ok := ck.Lookup(workload.AlexNet, hwspec.TitanXp, "x"); ok {
+		t.Fatal("failed task resumable")
+	}
+}

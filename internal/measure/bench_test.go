@@ -1,0 +1,45 @@
+package measure_test
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// BenchmarkReliableOverhead compares a bare Local measurer against the
+// same device behind a Reliable wrapper on the happy path (no faults, no
+// retries). The wrapper's bookkeeping should stay within a few percent —
+// later perf PRs can track reliable/op against local/op here.
+func BenchmarkReliableOverhead(b *testing.B) {
+	task, sp, _ := testTask(b)
+	g := rng.New(3)
+	idxs := make([]int64, 16)
+	for i := range idxs {
+		idxs[i] = sp.RandomIndex(g)
+	}
+
+	b.Run("local", func(b *testing.B) {
+		m := measure.MustNewLocal(hwspec.TitanXp)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.MeasureBatch(task, sp, idxs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reliable", func(b *testing.B) {
+		inner := measure.MustNewLocal(hwspec.TitanXp)
+		m, err := measure.NewReliable(measure.ReliableConfig{}, inner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.MeasureBatch(task, sp, idxs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,14 @@ type Measurer interface {
 	MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error)
 	// DeviceName identifies the underlying GPU.
 	DeviceName() string
+}
+
+// ContextMeasurer is a Measurer that honors context cancellation and
+// deadlines mid-batch. Reliable uses it to cut off hung measurements; a
+// plain Measurer is instead abandoned in a goroutine on timeout.
+type ContextMeasurer interface {
+	Measurer
+	MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error)
 }
 
 // Local measures on an in-process simulated device.
@@ -54,6 +63,22 @@ func (l *Local) Device() *gpusim.Device { return l.dev }
 func (l *Local) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
 	out := make([]gpusim.Result, len(idxs))
 	for i, idx := range idxs {
+		if idx < 0 || idx >= sp.Size() {
+			return nil, fmt.Errorf("measure: index %d out of space [0, %d)", idx, sp.Size())
+		}
+		out[i] = l.dev.MeasureIndex(task, sp, idx)
+	}
+	return out, nil
+}
+
+// MeasureBatchContext measures each index, checking for cancellation
+// between configurations.
+func (l *Local) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	out := make([]gpusim.Result, len(idxs))
+	for i, idx := range idxs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("measure: local batch on %s: %w", l.dev.Spec.Name, err)
+		}
 		if idx < 0 || idx >= sp.Size() {
 			return nil, fmt.Errorf("measure: index %d out of space [0, %d)", idx, sp.Size())
 		}

@@ -1,0 +1,456 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// FailReasonSanitized marks a measurement rejected by Reliable because the
+// backend returned a non-finite or negative value — corrupted telemetry
+// must not poison cost models as a legitimate (in)valid sample.
+const FailReasonSanitized = "sanitized_corrupt_measurement"
+
+// ErrBreakerOpen is returned (wrapped) when a backend is skipped because
+// its circuit breaker is open.
+var ErrBreakerOpen = errors.New("measure: circuit breaker open")
+
+// ReliableConfig tunes the fault-handling policy of a Reliable measurer.
+// The zero value selects sane defaults for every field.
+type ReliableConfig struct {
+	// BatchTimeout is the per-attempt deadline. Backends implementing
+	// ContextMeasurer are cancelled; plain Measurers are abandoned in a
+	// goroutine (their eventual result is discarded). 0 disables.
+	BatchTimeout time.Duration
+	// MaxAttempts bounds tries per backend per batch (default 3).
+	MaxAttempts int
+	// BackoffBase is the first retry delay (default 10ms); successive
+	// retries double it up to BackoffMax (default 1s). A deterministic
+	// jitter in [0.5, 1.0)× derived from Seed is applied.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold opens a backend's circuit breaker after this many
+	// consecutive failed attempts (default 4); while open the backend is
+	// skipped without being called.
+	BreakerThreshold int
+	// BreakerCooldown is how long a breaker stays open before a single
+	// half-open probe attempt is allowed (default 5s). A successful probe
+	// closes the breaker; a failed one re-opens it for another cooldown.
+	BreakerCooldown time.Duration
+	// Seed drives backoff jitter deterministically (keyed further by
+	// device, task, batch and attempt, so concurrent sessions do not
+	// perturb each other's schedules).
+	Seed int64
+	// Sleep and Now are test hooks (default time.Sleep / time.Now).
+	Sleep func(time.Duration)
+	Now   func() time.Time
+}
+
+func (c *ReliableConfig) resolve() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 4
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// BreakerState is a backend circuit breaker's position.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// ReliableStats counts fault-handling activity; all fields are cumulative.
+type ReliableStats struct {
+	Batches      int // MeasureBatch calls served
+	Attempts     int // backend attempts issued
+	Retries      int // attempts beyond the first on some backend
+	Timeouts     int // attempts cut off by BatchTimeout
+	Failovers    int // batches served by a non-primary backend
+	Exhausted    int // batches that failed on every backend
+	Sanitized    int // results rejected as corrupt
+	BreakerOpens int // breaker transitions to open
+	BreakerSkips int // backends skipped because their breaker was open
+}
+
+// Event is one recorded degradation, for logs and post-mortems.
+type Event struct {
+	Backend string // device name of the backend involved
+	Task    string
+	Kind    string // "retry" | "timeout" | "failover" | "breaker_open" | "breaker_close" | "breaker_probe" | "skip_open" | "sanitized" | "exhausted"
+	Detail  string
+}
+
+const maxEvents = 4096 // keep long campaigns from growing without bound
+
+type backend struct {
+	m             Measurer
+	state         BreakerState
+	consecFails   int
+	openedAt      time.Time
+	probeInFlight bool
+}
+
+// Reliable wraps an ordered failover chain of Measurers (e.g. remote board
+// → replica → local simulator) with per-batch deadlines, bounded retries
+// with capped exponential backoff, a per-backend circuit breaker, and
+// result sanitization. It reports the primary backend's device name, so a
+// degraded session still labels its results with the intended target. It
+// is safe for concurrent use by multiple tuning sessions.
+type Reliable struct {
+	cfg ReliableConfig
+
+	mu       sync.Mutex
+	backends []*backend
+	seq      map[string]int // per-task batch sequence, for jitter keys
+	stats    ReliableStats
+	events   []Event
+}
+
+// NewReliable builds a Reliable over the failover chain. The first backend
+// is the primary; later ones are tried in order when earlier ones fail or
+// have open breakers. All backends must report measurements for the same
+// device model for results to be meaningful — that is the caller's
+// contract (e.g. a remote board and its local simulator twin).
+func NewReliable(cfg ReliableConfig, chain ...Measurer) (*Reliable, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("measure: NewReliable needs at least one backend")
+	}
+	cfg.resolve()
+	r := &Reliable{cfg: cfg, seq: map[string]int{}}
+	for _, m := range chain {
+		if m == nil {
+			return nil, fmt.Errorf("measure: NewReliable given a nil backend")
+		}
+		r.backends = append(r.backends, &backend{m: m})
+	}
+	return r, nil
+}
+
+// DeviceName reports the primary backend's device.
+func (r *Reliable) DeviceName() string { return r.backends[0].m.DeviceName() }
+
+// Stats returns a snapshot of the fault-handling counters.
+func (r *Reliable) Stats() ReliableStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Events returns a copy of the recorded degradation events.
+func (r *Reliable) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// BreakerStates reports each backend's current breaker position, in chain
+// order (open breakers past their cooldown still read as open until the
+// next batch probes them).
+func (r *Reliable) BreakerStates() []BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BreakerState, len(r.backends))
+	for i, b := range r.backends {
+		out[i] = b.state
+	}
+	return out
+}
+
+func (r *Reliable) record(e Event) {
+	if len(r.events) < maxEvents {
+		r.events = append(r.events, e)
+	}
+}
+
+// MeasureBatch walks the failover chain until one backend returns a
+// sanitized batch. It returns the last underlying error when every backend
+// is exhausted.
+func (r *Reliable) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	return r.MeasureBatchContext(context.Background(), task, sp, idxs)
+}
+
+// MeasureBatchContext is MeasureBatch bounded by an outer context (in
+// addition to the per-attempt BatchTimeout).
+func (r *Reliable) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	r.mu.Lock()
+	r.stats.Batches++
+	r.seq[task.Name()]++
+	seq := r.seq[task.Name()]
+	backends := append([]*backend(nil), r.backends...)
+	r.mu.Unlock()
+
+	var lastErr error
+	for bi, be := range backends {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("measure: batch cancelled: %w", err)
+		}
+		probe, admitted := r.admit(be, task)
+		if !admitted {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w (%s)", ErrBreakerOpen, be.m.DeviceName())
+			}
+			continue
+		}
+		results, err := r.tryBackend(ctx, be, probe, task, sp, idxs, seq)
+		if err == nil {
+			if bi > 0 {
+				r.mu.Lock()
+				r.stats.Failovers++
+				r.record(Event{Backend: be.m.DeviceName(), Task: task.Name(), Kind: "failover",
+					Detail: fmt.Sprintf("served by chain position %d", bi)})
+				r.mu.Unlock()
+			}
+			return r.sanitize(task, be.m.DeviceName(), results), nil
+		}
+		lastErr = err
+	}
+	r.mu.Lock()
+	r.stats.Exhausted++
+	detail := ""
+	if lastErr != nil {
+		detail = lastErr.Error()
+	}
+	r.record(Event{Task: task.Name(), Kind: "exhausted", Detail: detail})
+	r.mu.Unlock()
+	return nil, fmt.Errorf("measure: all %d backends failed for %s: %w", len(backends), task.Name(), lastErr)
+}
+
+// admit decides whether a backend may be tried, handling the open →
+// half-open transition. probe is true when only a single half-open probe
+// attempt is allowed.
+func (r *Reliable) admit(be *backend, task workload.Task) (probe, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch be.state {
+	case BreakerClosed:
+		return false, true
+	case BreakerHalfOpen:
+		// One probe at a time; concurrent sessions skip while it runs.
+		if be.probeInFlight {
+			r.stats.BreakerSkips++
+			return false, false
+		}
+		be.probeInFlight = true
+		return true, true
+	default: // open
+		if r.cfg.Now().Sub(be.openedAt) >= r.cfg.BreakerCooldown {
+			be.state = BreakerHalfOpen
+			be.probeInFlight = true
+			r.record(Event{Backend: be.m.DeviceName(), Task: task.Name(), Kind: "breaker_probe"})
+			return true, true
+		}
+		r.stats.BreakerSkips++
+		r.record(Event{Backend: be.m.DeviceName(), Task: task.Name(), Kind: "skip_open"})
+		return false, false
+	}
+}
+
+// tryBackend runs up to MaxAttempts attempts (one for a half-open probe)
+// with backoff, updating breaker state.
+func (r *Reliable) tryBackend(ctx context.Context, be *backend, probe bool, task workload.Task,
+	sp *space.Space, idxs []int64, seq int) ([]gpusim.Result, error) {
+	attempts := r.cfg.MaxAttempts
+	if probe {
+		attempts = 1
+	}
+	name := be.m.DeviceName()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.stats.Attempts++
+		if attempt > 1 {
+			r.stats.Retries++
+		}
+		r.mu.Unlock()
+		results, err := r.attemptOnce(ctx, be.m, task, sp, idxs)
+		if err == nil {
+			r.onSuccess(be, task)
+			return results, nil
+		}
+		lastErr = err
+		timedOut := errors.Is(err, context.DeadlineExceeded)
+		r.mu.Lock()
+		if timedOut {
+			r.stats.Timeouts++
+			r.record(Event{Backend: name, Task: task.Name(), Kind: "timeout", Detail: err.Error()})
+		}
+		opened := r.onFailureLocked(be, task)
+		r.mu.Unlock()
+		if opened || probe {
+			break // breaker tripped (or probe failed): stop hammering this backend
+		}
+		if attempt < attempts {
+			r.mu.Lock()
+			r.record(Event{Backend: name, Task: task.Name(), Kind: "retry",
+				Detail: fmt.Sprintf("attempt %d/%d: %v", attempt, attempts, err)})
+			r.mu.Unlock()
+			r.cfg.Sleep(r.backoff(name, task.Name(), seq, attempt))
+		}
+	}
+	return nil, lastErr
+}
+
+// attemptOnce runs a single measurement attempt under the batch deadline.
+func (r *Reliable) attemptOnce(ctx context.Context, m Measurer, task workload.Task,
+	sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	if r.cfg.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.BatchTimeout)
+		defer cancel()
+	}
+	if cm, ok := m.(ContextMeasurer); ok {
+		return cm.MeasureBatchContext(ctx, task, sp, idxs)
+	}
+	if ctx.Done() == nil {
+		return m.MeasureBatch(task, sp, idxs)
+	}
+	// Plain Measurer under a deadline: run it in a goroutine and abandon it
+	// on expiry. The goroutine leaks until the backend returns — acceptable
+	// for a hung measurement, and the discarded late result is never used.
+	type reply struct {
+		results []gpusim.Result
+		err     error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		results, err := m.MeasureBatch(task, sp, idxs)
+		ch <- reply{results, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("measure: batch on %s abandoned: %w", m.DeviceName(), ctx.Err())
+	case rep := <-ch:
+		return rep.results, rep.err
+	}
+}
+
+func (r *Reliable) onSuccess(be *backend, task workload.Task) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	be.consecFails = 0
+	be.probeInFlight = false
+	if be.state != BreakerClosed {
+		be.state = BreakerClosed
+		r.record(Event{Backend: be.m.DeviceName(), Task: task.Name(), Kind: "breaker_close"})
+	}
+}
+
+// onFailureLocked registers a failed attempt; callers hold r.mu. It
+// reports whether the breaker (re-)opened.
+func (r *Reliable) onFailureLocked(be *backend, task workload.Task) bool {
+	be.consecFails++
+	be.probeInFlight = false
+	if be.state == BreakerHalfOpen || be.consecFails >= r.cfg.BreakerThreshold {
+		reopened := be.state == BreakerHalfOpen
+		be.state = BreakerOpen
+		be.openedAt = r.cfg.Now()
+		be.consecFails = 0
+		r.stats.BreakerOpens++
+		detail := fmt.Sprintf("after %d consecutive failures", r.cfg.BreakerThreshold)
+		if reopened {
+			detail = "half-open probe failed"
+		}
+		r.record(Event{Backend: be.m.DeviceName(), Task: task.Name(), Kind: "breaker_open", Detail: detail})
+		return true
+	}
+	return false
+}
+
+// backoff computes the capped exponential delay with deterministic jitter
+// in [0.5, 1.0)× keyed by (seed, device, task, batch, attempt) — stable
+// under concurrent sessions and across reruns.
+func (r *Reliable) backoff(device, taskName string, seq, attempt int) time.Duration {
+	d := r.cfg.BackoffBase << (attempt - 1)
+	if d > r.cfg.BackoffMax || d <= 0 { // <= 0 guards shift overflow
+		d = r.cfg.BackoffMax
+	}
+	frac := rng.New(r.cfg.Seed).
+		Split(fmt.Sprintf("backoff/%s/%s/%d/%d", device, taskName, seq, attempt)).
+		Float64()
+	return time.Duration(float64(d) * (0.5 + 0.5*frac))
+}
+
+// sanitize rejects corrupt measurements: non-finite or negative GFLOPS /
+// kernel times on "valid" results become invalid with FailReasonSanitized,
+// and non-finite or negative measurement costs are zeroed so budget
+// accounting stays finite.
+func (r *Reliable) sanitize(task workload.Task, device string, results []gpusim.Result) []gpusim.Result {
+	n := 0
+	for i := range results {
+		res := &results[i]
+		if !finiteNonNeg(res.CostSec) {
+			res.CostSec = 0
+			if res.Valid {
+				res.Valid = false
+				res.FailReason = FailReasonSanitized
+				n++
+				continue
+			}
+		}
+		if res.Valid && (!finiteNonNeg(res.GFLOPS) || !finitePos(res.TimeMS)) {
+			res.Valid = false
+			res.GFLOPS = 0
+			res.TimeMS = 0
+			res.FailReason = FailReasonSanitized
+			n++
+		}
+	}
+	if n > 0 {
+		r.mu.Lock()
+		r.stats.Sanitized += n
+		r.record(Event{Backend: device, Task: task.Name(), Kind: "sanitized",
+			Detail: fmt.Sprintf("%d corrupt results rejected", n)})
+		r.mu.Unlock()
+	}
+	return results
+}
+
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+func finitePos(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}

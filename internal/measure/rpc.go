@@ -1,16 +1,28 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/space"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
+
+// DefaultDialTimeout bounds connection establishment and the handshake
+// List call in Dial; unroutable addresses fail instead of hanging.
+const DefaultDialTimeout = 5 * time.Second
+
+// ErrDraining is returned to new measurement requests while the server is
+// shutting down gracefully.
+var ErrDraining = errors.New("measure: server draining")
 
 // MeasureArgs is the RPC request: a task identified by (model, 1-based
 // index) plus the configuration indices to run on the named device.
@@ -31,13 +43,23 @@ type ListReply struct {
 	Devices []string
 }
 
+// PingReply is the health-check response.
+type PingReply struct {
+	OK       bool
+	Devices  int // hosted device count
+	InFlight int // measurement batches currently executing
+	Draining bool
+}
+
 // Server hosts simulated GPUs behind net/rpc, standing in for the paper's
 // RPC-attached measurement boards.
 type Server struct {
-	mu      sync.Mutex
-	devices map[string]*gpusim.Device
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
+	mu       sync.Mutex
+	devices  map[string]*gpusim.Device
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	inflight int
+	draining bool
 }
 
 // NewServer builds a server hosting the named GPUs.
@@ -57,8 +79,18 @@ func NewServer(gpuNames []string) (*Server, error) {
 // measures every requested index.
 func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.inflight++
 	dev, ok := s.devices[args.Device]
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}()
 	if !ok {
 		return fmt.Errorf("measure: server does not host device %q", args.Device)
 	}
@@ -80,13 +112,27 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 	return nil
 }
 
-// List is the RPC method returning hosted device names.
+// List is the RPC method returning hosted device names, sorted so client
+// logs are reproducible across runs.
 func (s *Server) List(_ struct{}, reply *ListReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name := range s.devices {
 		reply.Devices = append(reply.Devices, name)
 	}
+	sort.Strings(reply.Devices)
+	return nil
+}
+
+// Ping is the health-check RPC: cheap, side-effect free, and answered even
+// while draining (so fleet monitors can watch a shutdown complete).
+func (s *Server) Ping(_ struct{}, reply *PingReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reply.OK = !s.draining
+	reply.Devices = len(s.devices)
+	reply.InFlight = s.inflight
+	reply.Draining = s.draining
 	return nil
 }
 
@@ -128,6 +174,44 @@ func (s *Server) Serve(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// DrainAndClose shuts down gracefully: it stops accepting connections,
+// rejects new measurement batches with ErrDraining, waits (up to timeout)
+// for in-flight batches to finish, then severs the remaining connections.
+func (s *Server) DrainAndClose(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	return err
+}
+
+// InFlight reports how many measurement batches are currently executing.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
 // Close stops the listener and severs every established connection, so
 // in-flight clients see errors instead of a silently half-alive server.
 func (s *Server) Close() error {
@@ -150,14 +234,35 @@ type Remote struct {
 	device string
 }
 
-// Dial connects to a measurement server and binds to one of its devices.
+// Dial connects to a measurement server and binds to one of its devices,
+// applying DefaultDialTimeout to both connection setup and the handshake.
 func Dial(addr, device string) (*Remote, error) {
-	client, err := rpc.Dial("tcp", addr)
+	return DialTimeout(addr, device, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit bound. Unroutable addresses (which
+// blackhole SYNs rather than refusing them) and servers that accept but
+// never answer both fail within roughly the timeout.
+func DialTimeout(addr, device string, timeout time.Duration) (*Remote, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
+	// Bound the handshake List call; the deadline is lifted once bound.
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	client := rpc.NewClient(conn)
 	var listed ListReply
 	if err := client.Call("Measure.List", struct{}{}, &listed); err != nil {
+		client.Close()
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
 		client.Close()
 		return nil, err
 	}
@@ -172,12 +277,33 @@ func Dial(addr, device string) (*Remote, error) {
 
 // MeasureBatch measures remotely.
 func (r *Remote) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	return r.MeasureBatchContext(context.Background(), task, sp, idxs)
+}
+
+// MeasureBatchContext measures remotely, abandoning the in-flight RPC when
+// the context expires — this is what stops a half-open connection to a dead
+// board from hanging a tuning session forever. The asynchronous call is
+// issued with rpc.Client.Go so cancellation does not wait on the wire.
+func (r *Remote) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
 	args := MeasureArgs{Device: r.device, Model: task.Model, TaskIndex: task.Index, Indices: idxs}
 	var reply MeasureReply
-	if err := r.client.Call("Measure.Measure", args, &reply); err != nil {
-		return nil, err
+	call := r.client.Go("Measure.Measure", args, &reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("measure: remote batch on %s: %w", r.device, ctx.Err())
+	case done := <-call.Done:
+		if done.Error != nil {
+			return nil, done.Error
+		}
+		return reply.Results, nil
 	}
-	return reply.Results, nil
+}
+
+// Ping health-checks the server this Remote is connected to.
+func (r *Remote) Ping() (PingReply, error) {
+	var reply PingReply
+	err := r.client.Call("Measure.Ping", struct{}{}, &reply)
+	return reply, err
 }
 
 // DeviceName identifies the remote GPU.

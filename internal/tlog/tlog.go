@@ -8,6 +8,7 @@ package tlog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -51,33 +52,64 @@ func (w *Writer) Append(e Entry) error {
 	defer w.mu.Unlock()
 	w.seq++
 	e.Seq = w.seq
-	data, err := json.Marshal(e)
+	return AppendJSONLine(w.w, e)
+}
+
+// AppendJSONLine marshals v and writes it as one newline-terminated JSON
+// line — the append format shared by tuning logs and fleet checkpoints.
+func AppendJSONLine(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	_, err = w.w.Write(data)
+	_, err = w.Write(data)
 	return err
 }
 
-// Read parses a JSONL log.
+// ReadJSONLines streams newline-delimited JSON from r, calling fn with
+// each non-empty line. A final line that is missing its terminating
+// newline AND does not parse as JSON is silently dropped: that is exactly
+// what a writer killed mid-append leaves behind, and resumable logs must
+// survive it. Any other malformed line is an error.
+func ReadJSONLines(r io.Reader, fn func(line []byte) error) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	lineNo := 0
+	for {
+		chunk, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return err
+		}
+		terminated := err == nil
+		lineNo++
+		line := bytes.TrimRight(chunk, "\r\n")
+		if len(line) > 0 {
+			if !terminated && !json.Valid(line) {
+				return nil // truncated trailing write from a killed session
+			}
+			if ferr := fn(line); ferr != nil {
+				return fmt.Errorf("tlog: line %d: %w", lineNo, ferr)
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+	}
+}
+
+// Read parses a JSONL log (tolerating a truncated final line, see
+// ReadJSONLines).
 func Read(r io.Reader) ([]Entry, error) {
 	var out []Entry
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
+	err := ReadJSONLines(r, func(line []byte) error {
 		var e Entry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("tlog: line %d: %w", line, err)
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
 		}
 		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
