@@ -17,14 +17,27 @@ test:
 	$(GO) test ./...
 
 # Race pass over the concurrent layers (fleet orchestration, measurement
-# retry/breaker/failover, fault injection).
+# retry/breaker/failover, fault injection, and the parallel search engine:
+# worker pool, sharded annealer, GBT split search, sampler vote, neural
+# batch scoring).
 .PHONY: race
 race:
-	$(GO) test -race ./internal/fleet/... ./internal/measure/... ./internal/faults/...
+	$(GO) test -race ./internal/fleet/... ./internal/measure/... ./internal/faults/... \
+		./internal/parallel/... ./internal/anneal/... ./internal/gbt/... \
+		./internal/sampler/... ./internal/acq/... ./internal/nn/...
 
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Parallel hot-path benchmarks as a machine-readable artifact. Compare
+# workers=1 vs workers=N entries to see the scaling on this machine.
+.PHONY: bench-parallel
+bench-parallel:
+	$(GO) test -bench 'BenchmarkAnneal|BenchmarkGBT|BenchmarkEnsembleSelect' -benchmem -run '^$$' \
+		./internal/anneal/... ./internal/gbt/... ./internal/sampler/... \
+		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
+	@echo wrote BENCH_parallel.json
 
 .PHONY: fmt
 fmt:

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	rec, ok := parseLine("BenchmarkAnneal/workers=4-8   100   11532042 ns/op   2048 B/op   12 allocs/op")
+	if !ok {
+		t.Fatal("expected parse to succeed")
+	}
+	if rec.Name != "BenchmarkAnneal/workers=4-8" || rec.Iterations != 100 ||
+		rec.NsPerOp != 11532042 || rec.BytesPerOp != 2048 || rec.AllocsPerOp != 12 {
+		t.Fatalf("bad record: %+v", rec)
+	}
+}
+
+func TestParseLineMinimal(t *testing.T) {
+	rec, ok := parseLine("BenchmarkGBTTrain-1   7   150000000 ns/op")
+	if !ok {
+		t.Fatal("expected parse to succeed")
+	}
+	if rec.Name != "BenchmarkGBTTrain-1" || rec.NsPerOp != 150000000 {
+		t.Fatalf("bad record: %+v", rec)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok   github.com/neuralcompile/glimpse/internal/anneal  3.2s",
+		"Benchmark", // no fields after name
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkNoUnits 10 20 30", // numbers but no ns/op unit
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) unexpectedly succeeded", line)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-run all|fig1|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation]
-//	            [-seed N] [-scale quick|default|full] [-v]
+//	            [-seed N] [-scale quick|default|full] [-v] [-workers N]
 //
 // Scales: quick (CI smoke), default (laptop minutes, paper shapes), full
 // (every task, larger budgets; closest to the paper's setting).
@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/neuralcompile/glimpse/internal/experiments"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -29,7 +31,9 @@ func main() {
 	tasksPer := flag.Int("tasks", 0, "override tasks per model (-1 = all)")
 	budget := flag.Int("budget", 0, "override measurements per tuning run")
 	verbose := flag.Bool("v", false, "log per-run progress")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	cfg := experiments.Config{Seed: *seed}
 	switch *scale {

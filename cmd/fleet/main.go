@@ -6,7 +6,7 @@
 //
 //	fleet -model resnet-18 -gpus titan-xp,rtx-3090 -tuner glimpse \
 //	      -budget 128 -out plans/ [-kernels] [-artifacts dir] \
-//	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s]
+//	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s] [-workers N]
 //
 // With -tuner glimpse, offline artifacts are trained per target (cached
 // under -artifacts if given). Other tuners: autotvm, chameleon, random.
@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
@@ -49,7 +51,9 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "JSONL checkpoint file (resume skips recorded tasks)")
 	retries := flag.Int("retries", 3, "measurement attempts per batch before giving up")
 	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "deadline per measurement batch")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	var targets []string
 	for _, n := range strings.Split(*gpus, ",") {

@@ -5,7 +5,7 @@
 //
 //	glimpse -model resnet-18 -gpu titan-xp [-tasks 1,7,17] [-budget 192]
 //	        [-seed N] [-compare] [-rpc addr] [-artifacts path] [-log path]
-//	        [-checkpoint path] [-fallback-local] [-retries 3]
+//	        [-checkpoint path] [-fallback-local] [-retries 3] [-workers N]
 //
 // With -compare, AutoTVM runs on the same tasks for reference. With -rpc,
 // measurements go to a measurement server (cmd/measured) instead of the
@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
 	"github.com/neuralcompile/glimpse/internal/tlog"
@@ -53,7 +55,9 @@ func main() {
 	fallbackLocal := flag.Bool("fallback-local", false, "with -rpc: fail over to the in-process simulator")
 	retries := flag.Int("retries", 3, "with -rpc: measurement attempts per batch")
 	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "with -rpc: deadline per measurement batch")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	tasks, err := workload.Tasks(*model)
 	if err != nil {

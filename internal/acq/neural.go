@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/neuralcompile/glimpse/internal/nn"
+	"github.com/neuralcompile/glimpse/internal/parallel"
 )
 
 // Stats are the per-candidate inputs to the neural acquisition function.
@@ -50,12 +51,26 @@ type Neural struct {
 	EmbDim int
 }
 
-// Score returns the acquisition value of one candidate.
+// Score returns the acquisition value of one candidate. It uses the
+// network's cache-free inference path, so it is safe to call concurrently
+// on a frozen acquisition function.
 func (a *Neural) Score(s Stats, emb []float64) float64 {
 	if len(emb) != a.EmbDim {
 		panic(fmt.Sprintf("acq: embedding dim %d want %d", len(emb), a.EmbDim))
 	}
-	return a.Net.Predict(Features(s, emb))[0]
+	return a.Net.Infer(Features(s, emb))[0]
+}
+
+// ScoreBatch scores many candidates against one Blueprint, sharding rows
+// across at most workers goroutines (<= 0 uses the process-wide default,
+// see internal/parallel). The result matches a serial Score loop exactly.
+func (a *Neural) ScoreBatch(stats []Stats, emb []float64, workers int) []float64 {
+	if len(emb) != a.EmbDim {
+		panic(fmt.Sprintf("acq: embedding dim %d want %d", len(emb), a.EmbDim))
+	}
+	return parallel.Map(workers, len(stats), func(i int) float64 {
+		return a.Net.Infer(Features(stats[i], emb))[0]
+	})
 }
 
 // neuralJSON is the serialized form.

@@ -1,0 +1,57 @@
+package acq
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/nn"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// TestScoreBatchMatchesScore pins the pooled scoring path to the serial
+// one for several worker counts (exact equality — same arithmetic, just
+// sharded rows). Runs under -race in `make check`.
+func TestScoreBatchMatchesScore(t *testing.T) {
+	g := rng.New(1)
+	const embDim = 4
+	a := &Neural{
+		Net:    nn.NewMLP([]int{FeatureDim(embDim), 16, 1}, nn.ReLU, g.Split("net")),
+		EmbDim: embDim,
+	}
+	emb := []float64{0.2, -0.4, 1.1, 0.05}
+	stats := make([]Stats, 97)
+	for i := range stats {
+		stats[i] = Stats{
+			Mean:         g.Normal(1, 0.5),
+			Std:          g.Float64(),
+			Best:         1,
+			Progress:     float64(i) / float64(len(stats)),
+			PriorLogProb: -5 * g.Float64(),
+		}
+	}
+	want := make([]float64, len(stats))
+	for i, s := range stats {
+		want[i] = a.Score(s, emb)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := a.ScoreBatch(stats, emb, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d scores want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: score[%d] = %v want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScoreBatchPanicsOnDimMismatch(t *testing.T) {
+	g := rng.New(2)
+	a := &Neural{Net: nn.NewMLP([]int{FeatureDim(2), 4, 1}, nn.Tanh, g), EmbDim: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	a.ScoreBatch([]Stats{{}}, []float64{1, 2, 3}, 1)
+}

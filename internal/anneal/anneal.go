@@ -2,18 +2,26 @@
 // configuration indices. AutoTVM, Chameleon, and Glimpse all propose
 // measurement candidates by running parallel Markov chains on a surrogate
 // cost model; this package is that shared search engine.
+//
+// Chains are sharded across a bounded worker pool (Config.Workers). Each
+// chain draws from its own RNG stream split from the caller's seed, and
+// per-chain visited maps are merged in chain order, so a fixed seed yields
+// byte-identical results for any worker count (and any GOMAXPROCS).
 package anneal
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
-	"math"
-
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 )
 
 // Problem describes a discrete maximization problem for the annealer.
+// Score and Neighbor may be called from multiple goroutines concurrently
+// when the annealer runs with more than one worker; both must be safe for
+// concurrent use (pure functions of their arguments in practice).
 type Problem struct {
 	// Size is the number of points in the space.
 	Size int64
@@ -24,18 +32,42 @@ type Problem struct {
 	Neighbor func(i int64, g *rng.RNG) int64
 }
 
-// Config controls the annealing schedule.
+// Config controls the annealing schedule. Non-positive fields default
+// independently (see DefaultConfig for the values); a caller setting only
+// Steps keeps its Steps and inherits the default Chains, and vice versa.
 type Config struct {
 	Chains      int     // parallel Markov chains
 	Steps       int     // steps per chain
 	StartTemp   float64 // initial temperature
 	FinalTemp   float64 // final temperature (geometric schedule)
 	InitialSeed []int64 // optional starting points (wrapped into chains)
+	// Workers bounds the goroutines sharding the chains; <= 0 uses the
+	// process-wide default (see internal/parallel), 1 runs serially.
+	Workers int
 }
 
 // DefaultConfig mirrors AutoTVM's annealer scale, shrunk to simulator speed.
 func DefaultConfig() Config {
 	return Config{Chains: 64, Steps: 150, StartTemp: 1.0, FinalTemp: 0.02}
+}
+
+// withDefaults fills non-positive fields independently, preserving every
+// field the caller did set.
+func (cfg Config) withDefaults() Config {
+	def := DefaultConfig()
+	if cfg.Chains <= 0 {
+		cfg.Chains = def.Chains
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = def.Steps
+	}
+	if cfg.StartTemp <= 0 {
+		cfg.StartTemp = def.StartTemp
+	}
+	if cfg.FinalTemp <= 0 || cfg.FinalTemp > cfg.StartTemp {
+		cfg.FinalTemp = cfg.StartTemp / 50
+	}
+	return cfg
 }
 
 // Result is a visited point with its surrogate score.
@@ -53,17 +85,7 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 	if p.Score == nil {
 		return nil, fmt.Errorf("anneal: nil score function")
 	}
-	if cfg.Chains <= 0 || cfg.Steps <= 0 {
-		c := DefaultConfig()
-		c.InitialSeed = cfg.InitialSeed
-		cfg = c
-	}
-	if cfg.StartTemp <= 0 {
-		cfg.StartTemp = 1
-	}
-	if cfg.FinalTemp <= 0 || cfg.FinalTemp > cfg.StartTemp {
-		cfg.FinalTemp = cfg.StartTemp / 50
-	}
+	cfg = cfg.withDefaults()
 	if topK <= 0 {
 		topK = 1
 	}
@@ -73,48 +95,59 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 		neighbor = func(_ int64, g *rng.RNG) int64 { return g.Int63n(p.Size) }
 	}
 
-	// Initialize chains from seeds then uniform random.
-	state := make([]int64, cfg.Chains)
-	energy := make([]float64, cfg.Chains)
-	for c := 0; c < cfg.Chains; c++ {
+	cool := math.Pow(cfg.FinalTemp/cfg.StartTemp, 1/float64(cfg.Steps))
+
+	// One salt per Run call, drawn from the parent stream before the
+	// parallel region: successive calls on the same RNG explore with fresh
+	// streams (Split alone keys off the static seed), while each chain's
+	// trajectory stays a pure function of (salt, chain) — independent of
+	// worker count and scheduling.
+	chainBase := rng.New(g.Int63n(math.MaxInt64))
+	perChain := parallel.Map(cfg.Workers, cfg.Chains, func(c int) map[int64]float64 {
+		cg := chainBase.Split(fmt.Sprintf("chain/%d", c))
+		var state int64
 		if c < len(cfg.InitialSeed) {
-			state[c] = cfg.InitialSeed[c] % p.Size
-			if state[c] < 0 {
-				state[c] += p.Size
+			state = cfg.InitialSeed[c] % p.Size
+			if state < 0 {
+				state += p.Size
 			}
 		} else {
-			state[c] = g.Int63n(p.Size)
+			state = cg.Int63n(p.Size)
 		}
-		energy[c] = p.Score(state[c])
-	}
+		energy := p.Score(state)
 
+		visited := map[int64]float64{state: energy}
+		record := func(i int64, s float64) {
+			if old, ok := visited[i]; !ok || s > old {
+				visited[i] = s
+			}
+		}
+
+		temp := cfg.StartTemp
+		for step := 0; step < cfg.Steps; step++ {
+			cand := neighbor(state, cg)
+			if cand >= 0 && cand < p.Size {
+				s := p.Score(cand)
+				record(cand, s)
+				delta := s - energy
+				if delta >= 0 || cg.Float64() < math.Exp(delta/temp) {
+					state = cand
+					energy = s
+				}
+			}
+			temp *= cool
+		}
+		return visited
+	})
+
+	// Deterministic reduction: merge per-chain maps in chain order.
 	best := make(map[int64]float64, cfg.Chains*4)
-	record := func(i int64, s float64) {
-		if old, ok := best[i]; !ok || s > old {
-			best[i] = s
-		}
-	}
-	for c := range state {
-		record(state[c], energy[c])
-	}
-
-	cool := math.Pow(cfg.FinalTemp/cfg.StartTemp, 1/float64(cfg.Steps))
-	temp := cfg.StartTemp
-	for step := 0; step < cfg.Steps; step++ {
-		for c := 0; c < cfg.Chains; c++ {
-			cand := neighbor(state[c], g)
-			if cand < 0 || cand >= p.Size {
-				continue
-			}
-			s := p.Score(cand)
-			record(cand, s)
-			delta := s - energy[c]
-			if delta >= 0 || g.Float64() < math.Exp(delta/temp) {
-				state[c] = cand
-				energy[c] = s
+	for _, visited := range perChain {
+		for i, s := range visited {
+			if old, ok := best[i]; !ok || s > old {
+				best[i] = s
 			}
 		}
-		temp *= cool
 	}
 
 	out := make([]Result, 0, len(best))

@@ -2,6 +2,7 @@ package anneal
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"github.com/neuralcompile/glimpse/internal/rng"
@@ -56,11 +57,11 @@ func TestRunResultsSortedAndDistinct(t *testing.T) {
 
 func TestRunRespectsSeeds(t *testing.T) {
 	g := rng.New(3)
-	visited := map[int64]bool{}
+	var visited sync.Map // Score runs on multiple goroutines
 	p := Problem{
 		Size: 1 << 40, // astronomically large: random restarts won't find 12345
 		Score: func(i int64) float64 {
-			visited[i] = true
+			visited.Store(i, true)
 			if i == 12345 {
 				return 100
 			}
@@ -121,6 +122,98 @@ func TestRunDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatal("nondeterministic annealing")
 		}
+	}
+}
+
+// TestPartialConfigKeepsCallerFields is the regression test for the bug
+// where a non-positive Chains or Steps silently replaced the entire config
+// with DefaultConfig(), discarding the caller's valid fields.
+func TestPartialConfigKeepsCallerFields(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{"steps only", Config{Steps: 7},
+			Config{Chains: 64, Steps: 7, StartTemp: 1, FinalTemp: 0.02}},
+		{"chains only", Config{Chains: 3},
+			Config{Chains: 3, Steps: 150, StartTemp: 1, FinalTemp: 0.02}},
+		{"temps survive zero chains", Config{StartTemp: 500, FinalTemp: 2},
+			Config{Chains: 64, Steps: 150, StartTemp: 500, FinalTemp: 2}},
+		{"final temp above start re-derived", Config{StartTemp: 10, FinalTemp: 20},
+			Config{Chains: 64, Steps: 150, StartTemp: 10, FinalTemp: 0.2}},
+		{"all set passes through", Config{Chains: 2, Steps: 3, StartTemp: 4, FinalTemp: 1},
+			Config{Chains: 2, Steps: 3, StartTemp: 4, FinalTemp: 1}},
+	}
+	for _, tc := range cases {
+		got := tc.in.withDefaults()
+		if got.Chains != tc.want.Chains || got.Steps != tc.want.Steps ||
+			got.StartTemp != tc.want.StartTemp || got.FinalTemp != tc.want.FinalTemp {
+			t.Errorf("%s: withDefaults() = %+v want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunWorkerCountInvariant is the tentpole determinism contract: a fixed
+// seed must produce byte-identical results for any worker count.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	p := Problem{
+		Size:  20000,
+		Score: func(i int64) float64 { return math.Sin(float64(i)/300) + math.Cos(float64(i)/77) },
+		Neighbor: func(i int64, g *rng.RNG) int64 {
+			return i + int64(g.Intn(401)) - 200
+		},
+	}
+	var ref []Result
+	for _, workers := range []int{1, 2, 4, 13} {
+		cfg := Config{Chains: 24, Steps: 80, StartTemp: 2, FinalTemp: 0.05, Workers: workers}
+		res, err := Run(p, cfg, 32, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res) != len(ref) {
+			t.Fatalf("workers=%d: %d results want %d", workers, len(res), len(ref))
+		}
+		for i := range res {
+			if res[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %+v want %+v", workers, i, res[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRunFreshStreamsPerCall guards the salt draw: two Run calls on the
+// same parent RNG must not replay identical chain trajectories.
+func TestRunFreshStreamsPerCall(t *testing.T) {
+	g := rng.New(11)
+	p := Problem{
+		Size:  1 << 30,
+		Score: func(i int64) float64 { return float64(i % 997) },
+	}
+	cfg := Config{Chains: 4, Steps: 10, StartTemp: 1, FinalTemp: 0.1}
+	a, err := Run(p, cfg, 16, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, cfg, 16, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("successive Run calls visited identical points")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 )
 
@@ -34,6 +35,10 @@ type Config struct {
 	// RankPairs caps the number of sampled pairs per boosting round for
 	// PairwiseRank (0 means 4·n).
 	RankPairs int
+	// Workers bounds the goroutines used for split search and batch
+	// prediction; <= 0 uses the process-wide default (internal/parallel),
+	// 1 runs serially. Output is identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig mirrors the compact models AutoTVM uses in its tuner loop.
@@ -67,7 +72,11 @@ func Train(x [][]float64, y []float64, cfg Config, g *rng.RNG) (*Ensemble, error
 		return nil, fmt.Errorf("gbt: %d inputs but %d targets", len(x), len(y))
 	}
 	if cfg.Trees <= 0 {
+		// Fall back to the default schedule but keep the caller's choices
+		// that are orthogonal to it (objective, pair budget, worker bound).
+		objective, rankPairs, workers := cfg.Objective, cfg.RankPairs, cfg.Workers
 		cfg = DefaultConfig()
+		cfg.Objective, cfg.RankPairs, cfg.Workers = objective, rankPairs, workers
 	}
 	n := len(x)
 	e := &Ensemble{cfg: cfg}
@@ -108,11 +117,12 @@ func Train(x [][]float64, y []float64, cfg Config, g *rng.RNG) (*Ensemble, error
 			lambda:        cfg.Lambda,
 			gamma:         cfg.Gamma,
 			colSampleRate: cfg.ColSampleRate,
+			workers:       cfg.Workers,
 		}, g)
 		e.trees = append(e.trees, tree)
-		for i := range pred {
+		parallel.For(cfg.Workers, n, func(i int) {
 			pred[i] += cfg.LearningRate * tree.Predict(x[i])
-		}
+		})
 	}
 	return e, nil
 }
@@ -170,13 +180,13 @@ func (e *Ensemble) Predict(x []float64) float64 {
 	return out
 }
 
-// PredictBatch evaluates the ensemble on many feature vectors.
+// PredictBatch evaluates the ensemble on many feature vectors, sharding
+// rows across the ensemble's worker bound. Tree walks are read-only, so
+// rows are independent and the output matches the serial loop exactly.
 func (e *Ensemble) PredictBatch(x [][]float64) []float64 {
-	out := make([]float64, len(x))
-	for i, row := range x {
-		out[i] = e.Predict(row)
-	}
-	return out
+	return parallel.Map(e.cfg.Workers, len(x), func(i int) float64 {
+		return e.Predict(x[i])
+	})
 }
 
 // NumTrees returns the ensemble size.

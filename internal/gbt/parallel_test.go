@@ -1,0 +1,117 @@
+package gbt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// TestTrainWorkerCountInvariant is the tentpole determinism contract for
+// the cost model: a fixed seed must produce an identical ensemble (checked
+// through its predictions) for any worker count.
+func TestTrainWorkerCountInvariant(t *testing.T) {
+	x, y := benchData(400, 24, 7)
+	probe, _ := benchData(200, 24, 8)
+
+	var ref []float64
+	for _, workers := range []int{1, 2, 4, 9} {
+		cfg := DefaultConfig()
+		cfg.Trees = 10
+		cfg.Workers = workers
+		e, err := Train(x, y, cfg, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.PredictBatch(probe)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: prediction[%d] = %v want %v (exact)", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestTrainWorkerCountInvariantRanking repeats the contract for the
+// pairwise-ranking objective, whose gradients consume the RNG serially.
+func TestTrainWorkerCountInvariantRanking(t *testing.T) {
+	x, y := benchData(300, 16, 11)
+	probe, _ := benchData(100, 16, 12)
+
+	var ref []float64
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Trees = 8
+		cfg.Objective = PairwiseRank
+		cfg.Workers = workers
+		e, err := Train(x, y, cfg, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.PredictBatch(probe)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: prediction[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestTrainDefaultsPreserveCallerFields is the regression test for the
+// wholesale DefaultConfig() replacement discarding the caller's objective,
+// pair budget, and worker bound when Trees <= 0.
+func TestTrainDefaultsPreserveCallerFields(t *testing.T) {
+	x, y := benchData(60, 6, 13)
+	cfg := Config{Objective: PairwiseRank, RankPairs: 17, Workers: 1}
+	e, err := Train(x, y, cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Trees != DefaultConfig().Trees {
+		t.Fatalf("Trees = %d want default %d", e.cfg.Trees, DefaultConfig().Trees)
+	}
+	if e.cfg.Objective != PairwiseRank || e.cfg.RankPairs != 17 || e.cfg.Workers != 1 {
+		t.Fatalf("caller fields lost: %+v", e.cfg)
+	}
+	// A ranking-objective model keeps base = 0 (no mean shift).
+	if e.base != 0 {
+		t.Fatalf("ranking base = %v want 0", e.base)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	x, y := benchData(200, 12, 21)
+	for _, workers := range []int{1, 6} {
+		cfg := DefaultConfig()
+		cfg.Trees = 6
+		cfg.Workers = workers
+		e, err := Train(x, y, cfg, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := e.PredictBatch(x)
+		for i, row := range x {
+			if one := e.Predict(row); one != batch[i] {
+				t.Fatalf("workers=%d row %d: batch %v != single %v", workers, i, batch[i], one)
+			}
+		}
+	}
+}
+
+func ExampleConfig_workers() {
+	x, y := benchData(80, 8, 2)
+	cfg := DefaultConfig()
+	cfg.Trees = 4
+	cfg.Workers = 2 // bounded pool; same model as Workers: 1
+	e, _ := Train(x, y, cfg, rng.New(1))
+	fmt.Println(e.NumTrees())
+	// Output: 4
+}

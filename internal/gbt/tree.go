@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 )
 
@@ -34,6 +35,53 @@ type treeParams struct {
 	lambda        float64 // L2 regularization on leaf weights
 	gamma         float64 // split gain threshold
 	colSampleRate float64 // fraction of features per split search
+	workers       int     // pool bound for the per-feature split search
+}
+
+// splitParallelMinRows gates the parallel split search: below this row
+// count the per-feature sort is too cheap to amortize pool dispatch.
+// The serial and parallel paths produce identical splits either way.
+const splitParallelMinRows = 64
+
+// featureSplit is one feature's best split, found independently of the
+// other features so the search can fan out across the pool.
+type featureSplit struct {
+	gain   float64
+	thresh float64
+	ok     bool
+}
+
+// bestSplitForFeature scans one feature's sorted rows for the highest-gain
+// split. The arithmetic is a pure function of (x, grad, hess, idx, f), so
+// per-feature results are identical whether computed serially or in
+// parallel; only the reduction order (feature order) decides ties.
+func bestSplitForFeature(x [][]float64, grad, hess []float64, idx []int, f int,
+	sumG, sumH, rootScore float64, p treeParams) featureSplit {
+
+	order := make([]int, len(idx))
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+	best := featureSplit{gain: p.gamma}
+	leftG, leftH := 0.0, 0.0
+	for k := 0; k < len(order)-1; k++ {
+		i := order[k]
+		leftG += grad[i]
+		leftH += hess[i]
+		if k+1 < p.minLeaf || len(order)-k-1 < p.minLeaf {
+			continue
+		}
+		cur, next := x[order[k]][f], x[order[k+1]][f]
+		if cur == next {
+			continue
+		}
+		rightG, rightH := sumG-leftG, sumH-leftH
+		gain := leftG*leftG/(leftH+p.lambda) + rightG*rightG/(rightH+p.lambda) - rootScore
+		if gain > best.gain {
+			best = featureSplit{gain: gain, thresh: (cur + next) / 2, ok: true}
+		}
+	}
+	return best
 }
 
 // buildTree grows a tree on (x, grad, hess) rows indexed by idx.
@@ -57,8 +105,6 @@ func (t *Tree) grow(x [][]float64, grad, hess []float64, idx []int, depth int, p
 		return nodeIdx
 	}
 
-	bestGain := p.gamma
-	bestFeature, bestThresh := -1, 0.0
 	rootScore := sumG * sumG / (sumH + p.lambda)
 
 	nFeat := len(x[0])
@@ -69,29 +115,23 @@ func (t *Tree) grow(x [][]float64, grad, hess []float64, idx []int, depth int, p
 	}
 	features = features[:take]
 
-	order := make([]int, len(idx))
-	for _, f := range features {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
-		leftG, leftH := 0.0, 0.0
-		for k := 0; k < len(order)-1; k++ {
-			i := order[k]
-			leftG += grad[i]
-			leftH += hess[i]
-			if k+1 < p.minLeaf || len(order)-k-1 < p.minLeaf {
-				continue
-			}
-			cur, next := x[order[k]][f], x[order[k+1]][f]
-			if cur == next {
-				continue
-			}
-			rightG, rightH := sumG-leftG, sumH-leftH
-			gain := leftG*leftG/(leftH+p.lambda) + rightG*rightG/(rightH+p.lambda) - rootScore
-			if gain > bestGain {
-				bestGain = gain
-				bestFeature = f
-				bestThresh = (cur + next) / 2
-			}
+	// Fan the per-feature split search across the pool, then reduce in
+	// feature order with a strict > — identical winner (earliest feature,
+	// earliest threshold on ties) to the old serial scan.
+	workers := p.workers
+	if len(idx) < splitParallelMinRows {
+		workers = 1
+	}
+	splits := parallel.Map(workers, len(features), func(fi int) featureSplit {
+		return bestSplitForFeature(x, grad, hess, idx, features[fi], sumG, sumH, rootScore, p)
+	})
+	bestGain := p.gamma
+	bestFeature, bestThresh := -1, 0.0
+	for fi, s := range splits {
+		if s.ok && s.gain > bestGain {
+			bestGain = s.gain
+			bestFeature = features[fi]
+			bestThresh = s.thresh
 		}
 	}
 	if bestFeature < 0 {

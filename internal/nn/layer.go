@@ -21,6 +21,10 @@ import (
 type Layer interface {
 	Forward(x *mat.Matrix) *mat.Matrix
 	Backward(grad *mat.Matrix) *mat.Matrix
+	// Infer is Forward without caching state for Backward: it only reads
+	// the layer's parameters, so concurrent Infer calls are safe. Used by
+	// the parallel acquisition-scoring hot path.
+	Infer(x *mat.Matrix) *mat.Matrix
 	// Params returns parameter/gradient pairs for the optimizer;
 	// activation layers return nil.
 	Params() []Param
@@ -62,10 +66,15 @@ func NewDense(in, out int, g *rng.RNG) *Dense {
 
 // Forward computes x·Wᵀ + b for a batch x (n×In).
 func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	d.lastX = x
+	return d.Infer(x)
+}
+
+// Infer computes x·Wᵀ + b without caching the input for Backward.
+func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
 	if x.Cols() != d.In {
 		panic(fmt.Sprintf("nn: Dense forward %d features, want %d", x.Cols(), d.In))
 	}
-	d.lastX = x
 	out := x.Mul(d.W.T())
 	for i := 0; i < out.Rows(); i++ {
 		row := out.RawRow(i)
@@ -141,6 +150,11 @@ func Sigmoid() *Activation {
 func (a *Activation) Forward(x *mat.Matrix) *mat.Matrix {
 	a.lastY = x.Apply(a.fn)
 	return a.lastY
+}
+
+// Infer applies the nonlinearity without caching the output for Backward.
+func (a *Activation) Infer(x *mat.Matrix) *mat.Matrix {
+	return x.Apply(a.fn)
 }
 
 // Backward scales the upstream gradient by the local derivative.

@@ -44,6 +44,23 @@ func (n *Network) Predict(x []float64) []float64 {
 	return out.Row(0)
 }
 
+// InferBatch runs a batch through all layers without touching the
+// training caches, so it is safe to call from multiple goroutines on a
+// frozen network. It computes exactly what Forward computes.
+func (n *Network) InferBatch(x *mat.Matrix) *mat.Matrix {
+	for _, l := range n.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
+// Infer evaluates the network on a single feature vector without caching;
+// the thread-safe counterpart of Predict.
+func (n *Network) Infer(x []float64) []float64 {
+	out := n.InferBatch(mat.NewFromData(1, len(x), append([]float64(nil), x...)))
+	return out.Row(0)
+}
+
 // Backward propagates ∂L/∂output back through all layers.
 func (n *Network) Backward(grad *mat.Matrix) *mat.Matrix {
 	for i := len(n.Layers) - 1; i >= 0; i-- {

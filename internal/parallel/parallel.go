@@ -1,0 +1,105 @@
+// Package parallel provides the bounded worker pool shared by every
+// CPU-hot stage of the tuning pipeline: annealing chains, GBT split
+// search, batch surrogate prediction, ensemble vote filtering, and
+// neural acquisition scoring.
+//
+// The package enforces one contract everywhere it is used: output must
+// be byte-identical regardless of the worker count. Callers achieve
+// that by (a) giving each unit of work its own RNG stream split from
+// the caller's seed, and (b) reducing per-unit results in index order
+// after the pool drains (For/Map preserve slot order, so a serial
+// reduction over the result slice is deterministic by construction).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide worker count used when a caller
+// passes a non-positive count. It is what the CLIs' -workers flag sets.
+var defaultWorkers atomic.Int64
+
+func init() { defaultWorkers.Store(int64(runtime.NumCPU())) }
+
+// SetDefaultWorkers sets the process-wide default worker count.
+// Non-positive values reset it to runtime.NumCPU().
+func SetDefaultWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the process-wide default worker count.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// Resolve maps a per-call worker count to an effective one: positive
+// counts pass through, anything else resolves to the process default.
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return DefaultWorkers()
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines.
+// workers <= 0 resolves to DefaultWorkers(). With one worker (or n <= 1)
+// fn runs inline on the calling goroutine, so serial behavior is exactly
+// the plain loop. A panic in any fn is captured and re-raised on the
+// calling goroutine after all workers stop.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, capturedPanic{r})
+				}
+			}()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("parallel: worker panicked: %v", p.(capturedPanic).v))
+	}
+}
+
+// capturedPanic wraps a recovered value so atomic.Value accepts any type.
+type capturedPanic struct{ v any }
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order. The same determinism and panic
+// semantics as For apply.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 1000
+		hits := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for non-positive n")
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	// With one worker the loop must run on the calling goroutine in order.
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order = %v", order)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	For(4, 100, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestResolveAndDefaults(t *testing.T) {
+	old := DefaultWorkers()
+	defer SetDefaultWorkers(old)
+
+	SetDefaultWorkers(3)
+	if got := Resolve(0); got != 3 {
+		t.Fatalf("Resolve(0) = %d want 3", got)
+	}
+	if got := Resolve(-1); got != 3 {
+		t.Fatalf("Resolve(-1) = %d want 3", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d want 7", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.NumCPU() {
+		t.Fatalf("reset default = %d want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestForDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		For(8, 64, func(int) {})
+	}
+	// Allow some scheduler noise, but 50×8 leaked goroutines would show.
+	if after := runtime.NumGoroutine(); after > before+20 {
+		t.Fatalf("goroutines grew %d -> %d", before, after)
+	}
+}

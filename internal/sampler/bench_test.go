@@ -1,0 +1,46 @@
+package sampler
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// BenchmarkEnsembleSelect measures the pooled vote filter over a
+// tuner-sized candidate pool; `make bench` snapshots it.
+func BenchmarkEnsembleSelect(b *testing.B) {
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	emb, err := blueprint.Build(hwspec.Registry(), blueprint.DefaultDim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := emb.Embed(hwspec.MustByName(hwspec.TitanXp))
+	e, err := NewEnsemble(emb, vec, 9, 0, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rng.New(2)
+	cands := make([]int64, 512)
+	for i := range cands {
+		cands[i] = sp.RandomIndex(g)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			restore := pinDefaultWorkers(workers)
+			defer restore()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Select(task, sp, cands, 64, g)
+			}
+		})
+	}
+}

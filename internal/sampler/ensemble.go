@@ -2,8 +2,10 @@ package sampler
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
 	"github.com/neuralcompile/glimpse/internal/workload"
@@ -11,6 +13,16 @@ import (
 
 // DefaultTau is the paper's grid-searched rejection threshold τ = 1/3.
 const DefaultTau = 1.0 / 3.0
+
+// Floors for Blueprint-reconstructed limits. The PCA reconstruction is
+// lossy and can return zero or negative values for small-dim embeddings;
+// a threshold at or below zero makes every predictor vote invalid, so the
+// ensemble would reject every configuration. No real GPU sits below these.
+const (
+	minThreadsFloor = 32       // one warp
+	minSmemFloor    = 4 << 10  // 4 KiB shared memory per block
+	minRegsFloor    = 16 << 10 // 16k registers per SM
+)
 
 // thresholds are the resource limits one ensemble member checks against.
 type thresholds struct {
@@ -55,10 +67,17 @@ type Ensemble struct {
 
 // NewEnsemble generates the predictor ensemble for a target GPU from its
 // Blueprint vector alone. size controls the ensemble cardinality (default
-// 9); tau ≤ 0 selects the paper's τ = 1/3.
+// 9); tau ≤ 0 selects the paper's τ = 1/3, tau > 1 is rejected (the vote
+// fraction can never exceed 1, so such an ensemble could never reject and
+// silently disables §3.3). Thresholds reconstructed as zero/negative from
+// a lossy Blueprint are clamped to hardware floors — otherwise every
+// predictor votes invalid and the ensemble rejects every configuration.
 func NewEnsemble(emb *blueprint.Embedding, blueprintVec []float64, size int, tau float64, g *rng.RNG) (*Ensemble, error) {
 	if size <= 0 {
 		size = 9
+	}
+	if tau > 1 {
+		return nil, fmt.Errorf("sampler: tau %g > 1 can never reject (want 0 < tau <= 1, or <= 0 for the default %g)", tau, DefaultTau)
 	}
 	if tau <= 0 {
 		tau = DefaultTau
@@ -79,9 +98,9 @@ func NewEnsemble(emb *blueprint.Embedding, blueprintVec []float64, size int, tau
 		return nil, err
 	}
 	base := thresholds{
-		maxThreads:  maxThreads,
-		maxSmem:     maxSmemKB * 1024,
-		maxRegsPool: regsPerSM,
+		maxThreads:  clampFloor(maxThreads, minThreadsFloor),
+		maxSmem:     clampFloor(maxSmemKB*1024, minSmemFloor),
+		maxRegsPool: clampFloor(regsPerSM, minRegsFloor),
 		maxVThreads: 64,                     // TVM verifier constant
 		maxBlocks:   float64(1) * (1 << 31), // CUDA grid limit
 	}
@@ -120,17 +139,23 @@ func (e *Ensemble) Accept(task workload.Task, sp *space.Space, idx int64) bool {
 // preserving order, and returns up to n survivors. If fewer than n survive
 // it tops up with the best-ranked rejected candidates (the tuner must fill
 // its measurement batch; the vote is advisory, exactly like §3.3's τ rule).
+// The votes are evaluated through the worker pool; the selection itself is
+// a serial scan over the vote slice, so the result is identical for any
+// worker count.
 func (e *Ensemble) Select(task workload.Task, sp *space.Space, cands []int64, n int, _ *rng.RNG) []int64 {
 	if n <= 0 {
 		return nil
 	}
+	accepted := parallel.Map(0, len(cands), func(i int) bool {
+		return e.Accept(task, sp, cands[i])
+	})
 	out := make([]int64, 0, n)
 	var rejected []int64
-	for _, idx := range cands {
+	for i, idx := range cands {
 		if len(out) >= n {
 			break
 		}
-		if e.Accept(task, sp, idx) {
+		if accepted[i] {
 			out = append(out, idx)
 		} else {
 			rejected = append(rejected, idx)
@@ -143,6 +168,15 @@ func (e *Ensemble) Select(task workload.Task, sp *space.Space, cands []int64, n 
 		out = append(out, idx)
 	}
 	return out
+}
+
+// clampFloor lifts a lossy reconstruction to a physical floor; NaN (a
+// degenerate Blueprint) also clamps.
+func clampFloor(v, floor float64) float64 {
+	if math.IsNaN(v) || v < floor {
+		return floor
+	}
+	return v
 }
 
 // Size returns the ensemble cardinality.

@@ -1,0 +1,200 @@
+package sampler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/parallel"
+	"github.com/neuralcompile/glimpse/internal/rng"
+)
+
+// pinDefaultWorkers fixes the process-wide pool width for one test pass.
+func pinDefaultWorkers(n int) func() {
+	old := parallel.DefaultWorkers()
+	parallel.SetDefaultWorkers(n)
+	return func() { parallel.SetDefaultWorkers(old) }
+}
+
+// alwaysInvalid is a predictor whose thresholds are below any derivable
+// resource usage, so it votes invalid for every configuration.
+func alwaysInvalid() predictor {
+	return predictor{th: thresholds{maxThreads: -1, maxSmem: -1, maxRegsPool: -1, maxVThreads: -1, maxBlocks: -1}}
+}
+
+// alwaysValid is a predictor with unreachable thresholds: it never votes
+// invalid.
+func alwaysValid() predictor {
+	const huge = 1e18
+	return predictor{th: thresholds{maxThreads: huge, maxSmem: huge, maxRegsPool: huge, maxVThreads: huge, maxBlocks: huge}}
+}
+
+// fixedVoteEnsemble builds an ensemble of size n where exactly k members
+// vote invalid on everything.
+func fixedVoteEnsemble(n, k int, tau float64) *Ensemble {
+	e := &Ensemble{Tau: tau}
+	for i := 0; i < n; i++ {
+		if i < k {
+			e.predictors = append(e.predictors, alwaysInvalid())
+		} else {
+			e.predictors = append(e.predictors, alwaysValid())
+		}
+	}
+	return e
+}
+
+// TestAcceptVoteBoundary pins §3.3's rule: a configuration is rejected
+// only when MORE than τ·N predictors vote invalid. With τ = 1/3 and N = 9,
+// exactly 3 invalid votes must still be accepted; 4 must be rejected.
+func TestAcceptVoteBoundary(t *testing.T) {
+	task, sp := testTask(t)
+	idx := sp.RandomIndex(rng.New(1))
+	const n = 9
+	tau := DefaultTau // τ·N = 3 exactly
+	cases := []struct {
+		invalid int
+		accept  bool
+	}{
+		{0, true},
+		{2, true},
+		{3, true},  // exactly τ·N: "more than τ" not met — accept
+		{4, false}, // first count strictly above τ·N — reject
+		{9, false},
+	}
+	for _, tc := range cases {
+		e := fixedVoteEnsemble(n, tc.invalid, tau)
+		if got := e.Accept(task, sp, idx); got != tc.accept {
+			t.Errorf("%d/%d invalid votes: Accept = %v want %v", tc.invalid, n, got, tc.accept)
+		}
+	}
+}
+
+// TestSelectTopUpOrdering verifies that when fewer than n candidates
+// survive the vote, the batch is topped up with rejected candidates in
+// their original rank order, after all survivors.
+func TestSelectTopUpOrdering(t *testing.T) {
+	task, sp := testTask(t)
+	// Every candidate is rejected: survivors empty, top-up must preserve
+	// the explorer's ranking exactly.
+	eRejectAll := fixedVoteEnsemble(5, 5, DefaultTau)
+	cands := []int64{42, 7, 99, 3, 15}
+	got := eRejectAll.Select(task, sp, cands, 4, rng.New(2))
+	want := []int64{42, 7, 99, 3}
+	if len(got) != len(want) {
+		t.Fatalf("selected %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("top-up order: got %v want %v", got, want)
+		}
+	}
+
+	// Every candidate accepted: same order, truncated at n.
+	eAcceptAll := fixedVoteEnsemble(5, 0, DefaultTau)
+	got = eAcceptAll.Select(task, sp, cands, 3, rng.New(3))
+	want = []int64{42, 7, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("accept-all order: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestSelectWorkerCountInvariant: the pooled vote evaluation must not
+// change the selection for any worker count.
+func TestSelectWorkerCountInvariant(t *testing.T) {
+	task, sp := testTask(t)
+	e, _ := newTestEnsemble(t, hwspec.TitanXp, 0)
+	g := rng.New(4)
+	cands := make([]int64, 300)
+	for i := range cands {
+		cands[i] = sp.RandomIndex(g)
+	}
+	var ref []int64
+	for _, workers := range []int{1, 2, 8} {
+		restore := pinDefaultWorkers(workers)
+		got := e.Select(task, sp, cands, 32, rng.New(5))
+		restore()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d selected want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestNewEnsembleRejectsTauAboveOne(t *testing.T) {
+	emb, err := blueprint.Build(hwspec.Registry(), blueprint.DefaultDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := emb.Embed(hwspec.MustByName(hwspec.TitanXp))
+	_, err = NewEnsemble(emb, vec, 9, 1.5, rng.New(6))
+	if err == nil {
+		t.Fatal("tau = 1.5 accepted")
+	}
+	if !strings.Contains(err.Error(), "tau") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// τ = 1 is the degenerate-but-expressible edge (never reject): allowed.
+	if _, err := NewEnsemble(emb, vec, 9, 1.0, rng.New(6)); err != nil {
+		t.Fatalf("tau = 1 rejected: %v", err)
+	}
+}
+
+// TestClampFloorRescuesLossyBlueprint: an ensemble whose reconstructed
+// thresholds come back zero/negative must still accept reasonable configs
+// instead of rejecting everything.
+func TestClampFloorRescuesLossyBlueprint(t *testing.T) {
+	if got := clampFloor(-120, minThreadsFloor); got != minThreadsFloor {
+		t.Fatalf("clampFloor(-120) = %v", got)
+	}
+	if got := clampFloor(0, minSmemFloor); got != minSmemFloor {
+		t.Fatalf("clampFloor(0) = %v", got)
+	}
+	nan := clampFloor(floatNaN(), minRegsFloor)
+	if nan != minRegsFloor {
+		t.Fatalf("clampFloor(NaN) = %v", nan)
+	}
+	if got := clampFloor(2048, minThreadsFloor); got != 2048 {
+		t.Fatalf("clampFloor passthrough = %v", got)
+	}
+
+	// End to end: a base ensemble built from floored thresholds accepts a
+	// minimal-resource configuration (one warp, no smem) rather than
+	// rejecting the whole space.
+	task, sp := testTask(t)
+	e := &Ensemble{Tau: DefaultTau}
+	for i := 0; i < 9; i++ {
+		e.predictors = append(e.predictors, predictor{th: thresholds{
+			maxThreads:  minThreadsFloor,
+			maxSmem:     minSmemFloor,
+			maxRegsPool: minRegsFloor,
+			maxVThreads: 64,
+			maxBlocks:   1 << 31,
+		}})
+	}
+	accepted := 0
+	g := rng.New(7)
+	for i := 0; i < 500; i++ {
+		if e.Accept(task, sp, sp.RandomIndex(g)) {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("floored ensemble still rejects every config")
+	}
+}
+
+func floatNaN() float64 {
+	z := 0.0
+	return z / z
+}

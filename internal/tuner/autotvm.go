@@ -49,14 +49,15 @@ func (a AutoTVM) Tune(task workload.Task, sp *space.Space, m measure.Measurer,
 	if eps <= 0 {
 		eps = 0.1
 	}
+	// anneal.Run defaults non-positive schedule fields individually, so a
+	// partial a.Anneal (e.g. only Workers set) passes through untouched.
 	annealCfg := a.Anneal
-	if annealCfg.Chains <= 0 {
-		annealCfg = anneal.DefaultConfig()
-	}
 	modelCfg := a.Model
 	if modelCfg.Trees <= 0 {
-		modelCfg = gbt.DefaultConfig()
-		modelCfg.Trees = 30
+		tuned := gbt.DefaultConfig()
+		tuned.Trees = 30 // compact in-loop model (AutoTVM's plan-size scale)
+		tuned.Objective, tuned.RankPairs, tuned.Workers = modelCfg.Objective, modelCfg.RankPairs, modelCfg.Workers
+		modelCfg = tuned
 	}
 
 	s, err := NewSession(a.Name(), task, sp, m, budget, g)

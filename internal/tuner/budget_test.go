@@ -1,0 +1,113 @@
+package tuner
+
+import (
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// fixedCostMeasurer charges a constant GPU cost per measurement — the
+// controlled substrate for budget-accounting tests.
+type fixedCostMeasurer struct{ cost float64 }
+
+func (f fixedCostMeasurer) MeasureBatch(_ workload.Task, _ *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	out := make([]gpusim.Result, len(idxs))
+	for i := range out {
+		out[i] = gpusim.Result{Valid: true, GFLOPS: 1, TimeMS: 1, CostSec: f.cost}
+	}
+	return out, nil
+}
+
+func (f fixedCostMeasurer) DeviceName() string { return "fixed-cost-test" }
+
+// TestRemainingTrimsForGPUSecondsBudget is the regression test for
+// Session.Remaining ignoring MaxGPUSeconds: a session bounded only by GPU
+// seconds used to run every batch at full size and overshoot the budget by
+// up to a whole batch. With the fix, batches shrink to the estimated fit
+// and the overshoot is at most one measurement's cost.
+func TestRemainingTrimsForGPUSecondsBudget(t *testing.T) {
+	task, sp, _ := testSetup(t)
+	const cost = 1.0
+	budget := Budget{MaxGPUSeconds: 20.5}
+	s, err := NewSession("test", task, sp, fixedCostMeasurer{cost: cost}, budget, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 16
+	for !s.Done() {
+		idxs := make([]int64, batch)
+		for i := range idxs {
+			idxs[i] = int64(i)
+		}
+		if _, err := s.MeasureBatch(idxs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Finish()
+
+	// Batch 1 runs blind (no observed cost yet): 16 measurements, 16s.
+	// Batch 2 must be trimmed to the 4 measurements that fit in the
+	// remaining 4.5s — not another full 16.
+	if len(res.History) < 2 {
+		t.Fatalf("only %d batches ran", len(res.History))
+	}
+	second := res.History[1].Measurements - res.History[0].Measurements
+	if second != 4 {
+		t.Fatalf("second batch = %d measurements want 4 (trimmed to fit 4.5s at 1s/measurement)", second)
+	}
+	// Total overshoot is bounded by one measurement's cost, not a batch.
+	if res.GPUSeconds > budget.MaxGPUSeconds+cost {
+		t.Fatalf("GPU seconds %g overshoots budget %g by more than one measurement",
+			res.GPUSeconds, budget.MaxGPUSeconds)
+	}
+	// And the session converges onto the bound rather than stalling under it.
+	if res.GPUSeconds < budget.MaxGPUSeconds {
+		t.Fatalf("GPU seconds %g stopped short of budget %g", res.GPUSeconds, budget.MaxGPUSeconds)
+	}
+}
+
+// TestRemainingAppliesBothCaps: when both budget axes are set, the
+// tighter one wins.
+func TestRemainingAppliesBothCaps(t *testing.T) {
+	task, sp, _ := testSetup(t)
+	s, err := NewSession("test", task, sp, fixedCostMeasurer{cost: 2.0},
+		Budget{MaxMeasurements: 100, MaxGPUSeconds: 10}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MeasureBatch([]int64{0, 1}); err != nil { // 4s used, mean 2s
+		t.Fatal(err)
+	}
+	// 6s left at 2s/measurement → 3 fit; MaxMeasurements would allow 98.
+	if got := s.Remaining(50); got != 3 {
+		t.Fatalf("Remaining(50) = %d want 3 (GPU-seconds cap)", got)
+	}
+	// Measurement cap still applies when tighter.
+	if got := s.Remaining(2); got != 2 {
+		t.Fatalf("Remaining(2) = %d want 2", got)
+	}
+}
+
+// TestRemainingZeroWhenBudgetSpent: once GPU seconds are exhausted the
+// next batch is empty regardless of want.
+func TestRemainingZeroWhenBudgetSpent(t *testing.T) {
+	task, sp, _ := testSetup(t)
+	s, err := NewSession("test", task, sp, fixedCostMeasurer{cost: 5.0},
+		Budget{MaxGPUSeconds: 9}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MeasureBatch([]int64{0, 1}); err != nil { // 10s > 9s
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatal("session not done after exceeding GPU budget")
+	}
+	if got := s.Remaining(8); got != 0 {
+		t.Fatalf("Remaining(8) = %d want 0", got)
+	}
+}

@@ -39,8 +39,10 @@ func (c Chameleon) Tune(task workload.Task, sp *space.Space, m measure.Measurer,
 	}
 	modelCfg := c.Model
 	if modelCfg.Trees <= 0 {
-		modelCfg = gbt.DefaultConfig()
-		modelCfg.Trees = 30
+		tuned := gbt.DefaultConfig()
+		tuned.Trees = 30 // compact in-loop model, as in the AutoTVM baseline
+		tuned.Objective, tuned.RankPairs, tuned.Workers = modelCfg.Objective, modelCfg.RankPairs, modelCfg.Workers
+		modelCfg = tuned
 	}
 
 	s, err := NewSession(c.Name(), task, sp, m, budget, g)

@@ -93,11 +93,32 @@ func NewSession(name string, task workload.Task, sp *space.Space, m measure.Meas
 }
 
 // Remaining returns how many measurements may still run (capped at want).
+// Both budget axes cap the batch: MaxMeasurements directly, and
+// MaxGPUSeconds through the observed mean cost per measurement — without
+// the latter a session bounded only by GPU seconds would run a full-size
+// final batch and overshoot the budget by an arbitrary amount.
 func (s *Session) Remaining(want int) int {
 	if s.budget.MaxMeasurements > 0 {
 		left := s.budget.MaxMeasurements - s.res.Measurements
 		if left < want {
 			want = left
+		}
+	}
+	if s.budget.MaxGPUSeconds > 0 && s.res.Measurements > 0 {
+		leftSec := s.budget.MaxGPUSeconds - s.res.GPUSeconds
+		if leftSec <= 0 {
+			want = 0
+		} else if meanCost := s.res.GPUSeconds / float64(s.res.Measurements); meanCost > 0 {
+			fit := int(leftSec / meanCost)
+			if fit < 1 {
+				// Budget not yet exhausted: allow one measurement so the
+				// session converges onto the bound instead of stalling
+				// just under it; worst-case overshoot is one measurement.
+				fit = 1
+			}
+			if fit < want {
+				want = fit
+			}
 		}
 	}
 	if want < 0 {
