@@ -2,11 +2,26 @@ GO ?= go
 
 # Tier-1 gate: everything a PR must keep green.
 .PHONY: check
-check: vet build test race
+check: vet fmt-check lint build test race
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# Project static analysis (cmd/glint): determinism, rawgo, cfgdefault,
+# floateq, and errdrop over every package in the module. Stdlib-only —
+# see DESIGN.md §8 for the rules and the //glint:ignore policy.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/glint
+
+# Formatting gate: fail if gofmt would rewrite anything.
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l cmd internal examples)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; \
+	fi
 
 .PHONY: build
 build:
@@ -19,12 +34,14 @@ test:
 # Race pass over the concurrent layers (fleet orchestration, measurement
 # retry/breaker/failover, fault injection, and the parallel search engine:
 # worker pool, sharded annealer, GBT split search, sampler vote, neural
-# batch scoring).
+# batch scoring) plus the packages that drive them: core's candidate
+# scoring and the tuners both call into the pooled scoring paths.
 .PHONY: race
 race:
 	$(GO) test -race ./internal/fleet/... ./internal/measure/... ./internal/faults/... \
 		./internal/parallel/... ./internal/anneal/... ./internal/gbt/... \
-		./internal/sampler/... ./internal/acq/... ./internal/nn/...
+		./internal/sampler/... ./internal/acq/... ./internal/nn/... \
+		./internal/core/... ./internal/tuner/...
 
 .PHONY: bench
 bench:

@@ -1,0 +1,92 @@
+// Command glint runs the project's static-analysis suite (internal/analysis)
+// over every package in the module. It is stdlib-only: packages are parsed
+// with go/parser and type-checked with go/types against $GOROOT/src, so it
+// needs no network, no compiled export data, and no external tools.
+//
+// Findings print one per line as
+//
+//	file:line: [rule] message
+//
+// and any finding makes the process exit 1 (2 on load/usage errors). A
+// finding is waived by an inline directive on the offending line or the
+// line above it:
+//
+//	//glint:ignore rule -- reason
+//
+// The reason is mandatory and stale directives are themselves reported.
+//
+// Usage:
+//
+//	glint [-rules determinism,rawgo,...] [-list] [dir]
+//
+// dir defaults to the current directory; glint walks up from it to the
+// enclosing go.mod and analyzes the whole module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/neuralcompile/glimpse/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glint:", err)
+		os.Exit(2)
+	}
+	analyzers, err := analysis.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glint:", err)
+		os.Exit(2)
+	}
+	findings := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "glint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}

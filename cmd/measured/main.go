@@ -53,8 +53,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "measured: draining %d in-flight batches (signal again to force quit)\n",
 		srv.InFlight())
 	done := make(chan struct{})
-	go func() {
-		srv.DrainAndClose(*drain)
+	go func() { //glint:ignore rawgo -- shutdown drain waiter, not a search path; must race the second signal
+		_ = srv.DrainAndClose(*drain) // exiting either way; drain errors are cosmetic
 		close(done)
 	}()
 	select {
@@ -62,6 +62,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "measured: drained, bye")
 	case <-sig:
 		fmt.Fprintln(os.Stderr, "measured: forced shutdown")
-		srv.Close()
+		_ = srv.Close() // forced shutdown; close errors are cosmetic
 	}
 }

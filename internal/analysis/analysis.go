@@ -1,0 +1,147 @@
+// Package analysis is a stdlib-only static-analysis engine for this
+// repository. It loads every package in the module with go/parser and
+// go/types (no external dependencies) and runs a pluggable set of project
+// analyzers that turn the conventions established by earlier PRs —
+// the determinism contract, the worker-pool concurrency discipline, and
+// the per-field config-defaulting rule — into machine-checked invariants.
+//
+// Findings print as "file:line: [rule] message" and any unsuppressed
+// finding makes cmd/glint exit nonzero. A finding can be waived inline
+// with
+//
+//	//glint:ignore rule -- reason
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory (an ignore without one is itself reported) and directives
+// that suppress nothing are reported as stale.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one pluggable rule.
+type Analyzer struct {
+	Name string // rule name used in output and //glint:ignore directives
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the finding sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	sink     *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Finding{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		RawGo,
+		CfgDefault,
+		FloatEq,
+		ErrDrop,
+	}
+}
+
+// ByName resolves a comma-separated rule list against the full suite.
+func ByName(list string) ([]*Analyzer, error) {
+	all := All()
+	if list == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers runs each analyzer over each package, applies the
+// //glint:ignore directives, and returns the surviving findings sorted by
+// position. Directive hygiene findings (rule "glint": missing reason,
+// stale suppression) are produced only when the full suite ran, so a
+// partial -rules invocation never flags a directive whose rule it did not
+// execute.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, sink: &raw})
+		}
+	}
+	full := len(analyzers) == len(All())
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, applyIgnores(pkg, findingsIn(raw, pkg), full)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+func findingsIn(all []Finding, pkg *Package) []Finding {
+	files := map[string]bool{}
+	for _, f := range pkg.Files {
+		files[pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	var out []Finding
+	for _, f := range all {
+		if files[f.Pos.Filename] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// hasSuffixPath reports whether import path p ends with the path suffix
+// want (matching whole path elements, so "internal/nn" does not match
+// "internal/cnn").
+func hasSuffixPath(p, want string) bool {
+	return p == want || strings.HasSuffix(p, "/"+want)
+}

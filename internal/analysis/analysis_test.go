@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixturePath is a fake module prefix; the trailing elements control which
+// package-gated rules apply to a fixture directory.
+const fixturePath = "example.com/fixture"
+
+// wantRe matches expectation comments: "// want rule [rule...]".
+var wantRe = regexp.MustCompile(`\bwant((?: [a-z]+)+)\s*$`)
+
+// expectations returns the "file:line rule" keys declared by // want
+// comments in the fixture package.
+func expectations(t *testing.T, pkg *Package) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, rule := range strings.Fields(m[1]) {
+					out[fmt.Sprintf("%s:%d %s", filepath.Base(pos.Filename), pos.Line, rule)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture loads dir under importPath, runs the full suite, and
+// compares findings against the fixture's // want comments.
+func checkFixture(t *testing.T, dir, importPath string) {
+	t.Helper()
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	got := map[string]bool{}
+	for _, f := range RunAnalyzers([]*Package{pkg}, All()) {
+		got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
+	}
+	want := expectations(t, pkg)
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing finding %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding %s", key)
+		}
+	}
+}
+
+// checkSilent loads dir under importPath and asserts the given analyzer
+// reports nothing — the package-gate test for path-scoped rules.
+func checkSilent(t *testing.T, dir, importPath string, a *Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if got := RunAnalyzers([]*Package{pkg}, []*Analyzer{a}); len(got) != 0 {
+		t.Fatalf("%s under %s: want no findings, got %v", a.Name, importPath, got)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "testdata/determinism", fixturePath+"/internal/anneal")
+}
+
+// TestDeterminismGate proves the rule only applies inside the packages
+// bound by the determinism contract.
+func TestDeterminismGate(t *testing.T) {
+	checkSilent(t, "testdata/determinism", fixturePath+"/internal/codegen", Determinism)
+}
+
+func TestRawGoFixture(t *testing.T) {
+	checkFixture(t, "testdata/rawgo", fixturePath+"/internal/core")
+}
+
+// TestRawGoGate proves the pool layers themselves may spawn goroutines.
+func TestRawGoGate(t *testing.T) {
+	for _, path := range []string{"internal/parallel", "internal/fleet", "internal/measure"} {
+		checkSilent(t, "testdata/rawgo", fixturePath+"/"+path, RawGo)
+	}
+}
+
+// TestCfgDefaultFixture includes the PR 2 regression shape: a Config
+// parameter wholesale-replaced by DefaultConfig() after a partial check.
+func TestCfgDefaultFixture(t *testing.T) {
+	checkFixture(t, "testdata/cfgdefault", fixturePath+"/internal/tune")
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	checkFixture(t, "testdata/floateq", fixturePath+"/internal/calc")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	checkFixture(t, "testdata/errdrop", fixturePath+"/internal/drop")
+}
+
+// TestIgnoreFixture exercises the escape-hatch policy: same-line and
+// line-above suppression, the mandatory reason, and stale-directive
+// reporting.
+func TestIgnoreFixture(t *testing.T) {
+	checkFixture(t, "testdata/ignore", fixturePath+"/internal/util")
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want full suite", len(all), err)
+	}
+	two, err := ByName("determinism, rawgo")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName accepted an unknown rule")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "rawgo", Msg: "boom"}
+	f.Pos.Filename = "a/b.go"
+	f.Pos.Line = 12
+	if got, want := f.String(), "a/b.go:12: [rawgo] boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestRepoIsClean runs the full suite over this repository — the same
+// gate as `make lint`, enforced from the test tree as well so plain
+// `go test ./...` catches contract regressions.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check is slow; run without -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 25 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	findings := RunAnalyzers(pkgs, All())
+	var lines []string
+	for _, f := range findings {
+		lines = append(lines, f.String())
+	}
+	sort.Strings(lines)
+	if len(findings) != 0 {
+		t.Errorf("repo has %d unsuppressed findings:\n%s", len(findings), strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CfgDefault catches the PR 2 config bug class: a function that takes a
+// Config-typed parameter and, after noticing one unset field, replaces
+// the whole value with DefaultConfig(), silently discarding every field
+// the caller did set. The repo convention (anneal.Config.withDefaults)
+// is to default non-positive fields individually.
+var CfgDefault = &Analyzer{
+	Name: "cfgdefault",
+	Doc:  "forbid wholesale Default*Config() assignment to a Config-typed parameter",
+	Run:  runCfgDefault,
+}
+
+func runCfgDefault(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := configParams(p, fn)
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					if star, ok := lhs.(*ast.StarExpr); ok {
+						lhs = star.X // *cfg = Default...() on a *Config param
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.Pkg.Info.Uses[id]
+					if obj == nil || !params[obj] {
+						continue
+					}
+					if name, ok := defaultCallName(p, assign.Rhs[i]); ok {
+						p.Reportf(assign.Pos(),
+							"wholesale %s = %s() discards every field the caller set; default non-positive fields individually (cf. anneal.Config.withDefaults)",
+							id.Name, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// configParams returns the parameter objects of fn whose type is a named
+// struct called Config or *Config (any "...Config" name counts).
+func configParams(p *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || !strings.HasSuffix(named.Obj().Name(), "Config") {
+				continue
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// defaultCallName reports whether e is a call to a Default* constructor
+// (DefaultConfig(), gbt.DefaultConfig(), ...), returning its name.
+func defaultCallName(p *Pass, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		if _, isFunc := obj.(*types.Func); isFunc && strings.HasPrefix(obj.Name(), "Default") {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the packages bound by the PR 2 determinism
+// contract: byte-identical results across 1..N workers for a fixed seed.
+// Wall-clock reads and the global math/rand stream would silently break
+// that contract, so both are forbidden here; internal/rng is the one
+// sanctioned seam to math/rand, and time injection happens through hooks
+// such as measure.Config.Now outside these packages.
+var deterministicPkgs = []string{
+	"internal/anneal",
+	"internal/gbt",
+	"internal/sampler",
+	"internal/acq",
+	"internal/nn",
+	"internal/rng",
+	"internal/prior",
+	"internal/space",
+}
+
+// wallClockFuncs are the package time entry points that read or depend on
+// the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// seededConstructors are the math/rand entry points that build an
+// explicitly seeded local generator instead of touching the global stream.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism enforces the reproducibility contract inside the
+// deterministic packages:
+//
+//  1. no wall-clock reads (time.Now and friends) — results must not
+//     depend on when or how fast the run executes;
+//  2. no global math/rand stream — all randomness flows through a seeded
+//     *rng.RNG (internal/rng itself is the sanctioned wrapper and may
+//     construct seeded rand.New/rand.NewSource generators);
+//  3. no map iteration feeding an order-sensitive sink (append that is
+//     never sorted, string building, early return/break) — Go randomizes
+//     map order per run.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand, and order-sensitive map iteration in the deterministic packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	inScope := false
+	for _, suffix := range deterministicPkgs {
+		if hasSuffixPath(p.Pkg.Path, suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	isRNGSeam := hasSuffixPath(p.Pkg.Path, "internal/rng")
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := p.Pkg.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if _, isFunc := obj.(*types.Func); isFunc && wallClockFuncs[obj.Name()] {
+						p.Reportf(n.Pos(), "time.%s reads the wall clock; deterministic packages must take time through an injected hook (cf. measure.Config.Now)", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if isRNGSeam {
+						return true // the sanctioned wrapper package
+					}
+					switch obj.(type) {
+					case *types.Func, *types.Var:
+						if !seededConstructors[obj.Name()] {
+							p.Reportf(n.Pos(), "global math/rand stream (%s.%s) breaks seed reproducibility; draw from a seeded *rng.RNG", obj.Pkg().Name(), obj.Name())
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, file, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the loop body
+// is order-sensitive: it returns or breaks early, builds a string, or
+// appends to a slice that is never handed to sort/slices afterwards in
+// the same function. The collect-then-sort idiom therefore passes clean.
+func checkMapRange(p *Pass, file *ast.File, rs *ast.RangeStmt) {
+	tv, ok := p.Pkg.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	state := &mapRangeState{pass: p}
+	ast.Walk(&mapRangeVisitor{state: state}, rs.Body)
+	if state.sensitive != "" {
+		p.Reportf(rs.Range, "map iteration order is random and this loop %s; iterate over sorted keys", state.sensitive)
+		return
+	}
+	for _, obj := range state.appended {
+		if !sortedAfter(p, file, rs, obj) {
+			p.Reportf(rs.Range, "map iteration appends to %s in random order and it is never sorted; sort the keys or the result", obj.Name())
+			return
+		}
+	}
+}
+
+// mapRangeState accumulates what a map-range loop body does; it is shared
+// by every branch of the visitor below.
+type mapRangeState struct {
+	pass      *Pass
+	sensitive string         // first order-sensitive behaviour seen, if any
+	appended  []types.Object // slices appended to inside the loop
+}
+
+// mapRangeVisitor walks a map-range body. breakDepth counts enclosing
+// statements that capture an unlabeled break (nested loops, switches,
+// selects), so only breaks terminating the map loop itself count as
+// order-sensitive. Function literals are skipped: they are a separate
+// execution context.
+type mapRangeVisitor struct {
+	state      *mapRangeState
+	breakDepth int
+}
+
+func (v *mapRangeVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil || v.state.sensitive != "" {
+		return nil
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return nil
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return &mapRangeVisitor{state: v.state, breakDepth: v.breakDepth + 1}
+	case *ast.ReturnStmt:
+		v.state.sensitive = "returns mid-iteration"
+		return nil
+	case *ast.BranchStmt:
+		if n.Tok == token.BREAK && n.Label == nil && v.breakDepth == 0 {
+			v.state.sensitive = "breaks mid-iteration"
+			return nil
+		}
+	case *ast.AssignStmt:
+		p := v.state.pass
+		if n.Tok == token.ADD_ASSIGN && isStringExpr(p, n.Lhs[0]) {
+			v.state.sensitive = "concatenates a string across iterations"
+			return nil
+		}
+		for i, rhs := range n.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p, call) && i < len(n.Lhs) {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := identObj(p, id); obj != nil {
+						v.state.appended = append(v.state.appended, obj)
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isStringExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func identObj(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after
+// the range statement, anywhere later in the same file.
+func sortedAfter(p *Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := p.Pkg.Info.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			for id := range identsIn(arg) {
+				if identObj(p, id) == obj {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func identsIn(e ast.Expr) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out[id] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements whose error result vanishes silently: a
+// measurement that fails to log or a checkpoint that fails to write must
+// surface, not disappear. Only bare expression statements are flagged —
+// `_ = f()` remains the sanctioned way to discard an error on purpose,
+// and deferred cleanup calls are left alone. Writers that are documented
+// never to fail (strings.Builder, bytes.Buffer) and fmt printing to
+// stdout/stderr are exempt.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid silently discarded error returns in statement position",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || exemptCall(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error result silently discarded; handle it or assign to _ explicitly")
+			return true
+		})
+	}
+}
+
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCall allows never-fails writers and terminal printing.
+func exemptCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() != nil {
+		// Method call: exempt when the receiver value is a never-fails
+		// writer (strings.Builder, bytes.Buffer, hash.Hash values).
+		if tv, ok := p.Pkg.Info.Types[sel.X]; ok {
+			return neverFailsWriter(tv.Type)
+		}
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		// Exempt terminal writes (os.Stdout/os.Stderr) and writers whose
+		// Write is documented never to fail (strings.Builder,
+		// bytes.Buffer, the hash.Hash family).
+		if len(call.Args) > 0 {
+			if s, ok := call.Args[0].(*ast.SelectorExpr); ok {
+				if target := p.Pkg.Info.Uses[s.Sel]; target != nil && target.Pkg() != nil &&
+					target.Pkg().Path() == "os" && (target.Name() == "Stdout" || target.Name() == "Stderr") {
+					return true
+				}
+			}
+			if tv, ok := p.Pkg.Info.Types[call.Args[0]]; ok && neverFailsWriter(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// neverFailsWriter reports whether t (possibly behind a pointer) is a
+// writer documented never to return a write error.
+func neverFailsWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}

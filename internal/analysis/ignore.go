@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is one parsed //glint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rules  []string // rules it waives
+	reason string   // text after "--"
+	used   bool
+}
+
+const directivePrefix = "glint:ignore"
+
+// parseIgnores extracts every //glint:ignore directive from a package.
+// Malformed directives (no rule list, or a missing "-- reason" tail) are
+// reported immediately under the reserved rule name "glint": an
+// unexplained suppression is treated as a violation of the ignore policy,
+// not as a working escape hatch.
+func parseIgnores(pkg *Package) (directives []*ignoreDirective, malformed []Finding) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				body := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				ruleList, reason, ok := strings.Cut(body, "--")
+				rules := strings.Fields(strings.ReplaceAll(ruleList, ",", " "))
+				reason = strings.TrimSpace(reason)
+				if !ok || reason == "" || len(rules) == 0 {
+					malformed = append(malformed, Finding{
+						Pos:  pos,
+						Rule: "glint",
+						Msg:  "malformed ignore directive: want //glint:ignore rule[,rule] -- reason",
+					})
+					continue
+				}
+				directives = append(directives, &ignoreDirective{pos: pos, rules: rules, reason: reason})
+			}
+		}
+	}
+	return directives, malformed
+}
+
+// applyIgnores drops findings waived by a directive on the same line or
+// the line directly above, and (when the full suite ran) reports stale
+// directives that no longer suppress anything so dead waivers cannot
+// accumulate.
+func applyIgnores(pkg *Package, findings []Finding, fullSuite bool) []Finding {
+	directives, malformed := parseIgnores(pkg)
+	var out []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if d.pos.Line != f.Pos.Line && d.pos.Line != f.Pos.Line-1 {
+				continue
+			}
+			for _, r := range d.rules {
+				if r == f.Rule {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	out = append(out, malformed...)
+	if fullSuite {
+		for _, d := range directives {
+			if !d.used {
+				out = append(out, Finding{
+					Pos:  d.pos,
+					Rule: "glint",
+					Msg:  "stale ignore directive: no " + strings.Join(d.rules, ",") + " finding here to suppress",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+	return out
+}

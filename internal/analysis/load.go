@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks module packages from source. Standard-library imports
+// are resolved by the stdlib "source" importer (type-checking $GOROOT/src
+// directly), so the loader needs no compiled export data, no network, and
+// no external tooling. Test files are excluded: every rule in the suite
+// applies to non-test code only, and excluding them keeps each package a
+// single self-contained compilation unit.
+type Loader struct {
+	Fset    *token.FileSet
+	modPath string
+	root    string
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+	ctx     build.Context
+}
+
+// NewLoader returns a Loader rooted at the module directory root. modPath
+// may be empty, in which case it is read from root/go.mod.
+func NewLoader(root, modPath string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if modPath == "" {
+		modPath, err = modulePath(filepath.Join(abs, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	// Disable cgo so the source importer never needs the C toolchain and
+	// always selects the pure-Go stdlib variants (net, os/user, ...).
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	build.Default.CgoEnabled = false
+	return &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		root:    abs,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+		ctx:     ctx,
+	}, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// LoadModule loads and type-checks every package under the module root,
+// returning them sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	l, err := NewLoader(root, "")
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := l.modPath
+		if rel != "." {
+			ip = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(ip, dir)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue // directory without Go files
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory as a standalone package under the given
+// import path — the entry point used by fixture tests, where the path
+// controls which package-gated rules apply.
+func LoadDir(dir, importPath string) (*Package, error) {
+	l, err := NewLoader(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(importPath, dir)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(bp.GoFiles) == 0 { // test-only directory
+		return nil, &build.NoGoError{Dir: dir}
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter resolves module-internal imports from source via the
+// Loader and everything else through the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.load(path, filepath.Join(l.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import "go/ast"
+
+// poolPkgs are the layers allowed to spawn goroutines directly: the worker
+// pool itself and the fleet/measurement orchestrators whose concurrency is
+// the whole point of the package.
+var poolPkgs = []string{
+	"internal/parallel",
+	"internal/fleet",
+	"internal/measure",
+}
+
+// RawGo flags `go` statements outside the pool layers. Search hot paths
+// must use internal/parallel, which bounds fan-out to the configured
+// worker count and keeps reductions ordered (the determinism contract);
+// a raw goroutine sidesteps both. Legitimate exceptions — RPC serve
+// loops, signal handlers, shutdown drains — carry a //glint:ignore rawgo
+// annotation with the reason.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "forbid raw goroutines outside internal/parallel, internal/fleet, and internal/measure",
+	Run:  runRawGo,
+}
+
+func runRawGo(p *Pass) {
+	for _, suffix := range poolPkgs {
+		if hasSuffixPath(p.Pkg.Path, suffix) {
+			return
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "raw goroutine outside the pool layers; use internal/parallel so fan-out stays bounded and deterministic")
+			}
+			return true
+		})
+	}
+}

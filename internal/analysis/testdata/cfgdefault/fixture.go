@@ -1,0 +1,51 @@
+// Package tune reproduces the PR 2 config bug class: anneal.Run and
+// gbt.Train replaced a partially-set Config with DefaultConfig() wholesale
+// after noticing a single unset field, silently discarding every field the
+// caller did set. RunWholesale is that regression, preserved here as the
+// analyzer's fixture; RunPerField is the sanctioned shape.
+package tune
+
+// Config mirrors the tuner configuration shape.
+type Config struct {
+	Iters   int
+	Workers int
+}
+
+// DefaultConfig returns the default schedule.
+func DefaultConfig() Config { return Config{Iters: 100, Workers: 4} }
+
+// RunWholesale checks one field, then nukes them all.
+func RunWholesale(cfg Config) Config {
+	if cfg.Iters <= 0 {
+		cfg = DefaultConfig() // want cfgdefault
+	}
+	return cfg
+}
+
+// RunPtr is the pointer-parameter variant of the same bug.
+func RunPtr(cfg *Config) {
+	if cfg.Iters <= 0 {
+		*cfg = DefaultConfig() // want cfgdefault
+	}
+}
+
+// RunPerField defaults each non-positive field individually, preserving
+// everything the caller set.
+func RunPerField(cfg Config) Config {
+	def := DefaultConfig()
+	if cfg.Iters <= 0 {
+		cfg.Iters = def.Iters
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	return cfg
+}
+
+// Fresh constructs a local config from defaults — building a new value is
+// allowed; only replacing a caller's parameter is the bug.
+func Fresh() Config {
+	cfg := DefaultConfig()
+	cfg.Iters = 7
+	return cfg
+}

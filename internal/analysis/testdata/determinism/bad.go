@@ -1,0 +1,47 @@
+package anneal
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside a deterministic package.
+func Stamp() time.Time {
+	return time.Now() // want determinism
+}
+
+// Elapsed depends on wall-clock duration.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want determinism
+}
+
+// Draw uses the global math/rand stream.
+func Draw() int {
+	return rand.Intn(10) // want determinism
+}
+
+// Keys appends map keys in random order and never sorts them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism
+		out = append(out, k)
+	}
+	return out
+}
+
+// First returns whichever key happens to come up first.
+func First(m map[string]int) string {
+	for k := range m { // want determinism
+		return k
+	}
+	return ""
+}
+
+// Join builds a string in map order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m { // want determinism
+		s += k
+	}
+	return s
+}

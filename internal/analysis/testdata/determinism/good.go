@@ -1,0 +1,41 @@
+package anneal
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Seeded constructs an explicitly seeded local generator — the sanctioned
+// use of math/rand.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SortedKeys is the collect-then-sort idiom: the append happens in map
+// order but the result is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum is order-independent accumulation, which map iteration may feed.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes map-to-map, which no iteration order can disturb.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package drop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func multi() (int, error) { return 0, nil }
+
+// Bad drops errors in statement position.
+func Bad() {
+	fallible() // want errdrop
+	multi()    // want errdrop
+}
+
+// Explicit handles or deliberately discards; both are sanctioned.
+func Explicit() {
+	_ = fallible()
+	if err := fallible(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// Exempt writers are documented never to fail, and fmt printing to the
+// terminal is exempt too.
+func Exempt() {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x")
+	sb.WriteString("y")
+	fmt.Println(sb.String())
+	fmt.Fprintln(os.Stderr, "status")
+}

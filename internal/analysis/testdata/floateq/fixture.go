@@ -1,0 +1,36 @@
+package calc
+
+import "math"
+
+const eps = 1e-9
+
+// Same is the latent bug: scores computed along different instruction
+// orders can differ in the last ulp.
+func Same(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// Different is the same bug inverted.
+func Different(a, b float64) bool {
+	return a != b // want floateq
+}
+
+// Near32 shows the rule covers float32 too.
+func Near32(a float32, b float64) bool {
+	return float64(a) == b // want floateq
+}
+
+// AlmostEqual is the sanctioned epsilon helper.
+func AlmostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// Unset is an exact-zero sentinel check, which is well-defined and allowed.
+func Unset(x float64) bool {
+	return x == 0
+}
+
+// IntEq is integer equality; out of scope.
+func IntEq(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,26 @@
+package util
+
+func fallible() error { return nil }
+
+// SuppressedSameLine waives the finding with a trailing directive.
+func SuppressedSameLine() {
+	fallible() //glint:ignore errdrop -- fixture: deliberate discard with a reason
+}
+
+// SuppressedLineAbove waives the finding from the line above.
+func SuppressedLineAbove() {
+	//glint:ignore errdrop -- fixture: directive on the preceding line
+	fallible()
+}
+
+// Malformed lacks the mandatory "-- reason" tail, so the directive is
+// itself reported and the finding it meant to waive survives.
+func Malformed() {
+	fallible() //glint:ignore errdrop without the separator // want glint errdrop
+}
+
+// Stale directives that no longer suppress anything are reported so dead
+// waivers cannot accumulate.
+//
+//glint:ignore rawgo -- fixture: nothing here spawns a goroutine // want glint
+func Stale() {}

@@ -1,0 +1,16 @@
+package core
+
+// Spawn launches raw goroutines outside the pool layers.
+func Spawn(fn func()) {
+	go fn() // want rawgo
+	done := make(chan struct{})
+	go func() { // want rawgo
+		close(done)
+	}()
+	<-done
+}
+
+// ServeLoop is a sanctioned exception carrying the mandatory reason.
+func ServeLoop(fn func()) {
+	go fn() //glint:ignore rawgo -- fixture: stands in for an RPC serve loop
+}

@@ -155,6 +155,7 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 		out = append(out, Result{Index: i, Score: s})
 	}
 	sort.Slice(out, func(a, b int) bool {
+		//glint:ignore floateq -- exact tie-break in a sort comparator; an epsilon would break strict weak ordering
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score
 		}

@@ -109,6 +109,7 @@ func (e *Env) Cfg() Config { return e.cfg }
 
 func (e *Env) logf(format string, args ...interface{}) {
 	if e.cfg.Progress != nil {
+		//glint:ignore errdrop -- best-effort progress reporting; a broken progress sink must not abort an experiment
 		fmt.Fprintf(e.cfg.Progress, format+"\n", args...)
 	}
 }

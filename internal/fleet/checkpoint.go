@@ -47,7 +47,7 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already on the error path; the read error wins
 		return nil, err
 	}
 	c := &Checkpoint{f: f, done: map[string]TaskPlan{}}
@@ -63,11 +63,11 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		return nil
 	})
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already on the error path; the read error wins
 		return nil, fmt.Errorf("fleet: checkpoint %s: %w", path, err)
 	}
 	if err := repairTail(f, data); err != nil {
-		f.Close()
+		_ = f.Close() // already on the error path; the read error wins
 		return nil, fmt.Errorf("fleet: checkpoint %s: %w", path, err)
 	}
 	return c, nil

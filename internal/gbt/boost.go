@@ -56,6 +56,39 @@ func DefaultConfig() Config {
 	}
 }
 
+// withDefaults fills non-positive fields independently, preserving every
+// field the caller did set. Objective, RankPairs, and Workers pass through
+// untouched: their zero values are meaningful (squared error, auto pair
+// budget, process-wide worker default).
+func (cfg Config) withDefaults() Config {
+	def := DefaultConfig()
+	if cfg.Trees <= 0 {
+		cfg.Trees = def.Trees
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = def.MaxDepth
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = def.MinLeaf
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = def.LearningRate
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = def.Lambda
+	}
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = def.Gamma
+	}
+	if cfg.Subsample <= 0 {
+		cfg.Subsample = def.Subsample
+	}
+	if cfg.ColSampleRate <= 0 {
+		cfg.ColSampleRate = def.ColSampleRate
+	}
+	return cfg
+}
+
 // Ensemble is a trained gradient-boosted model.
 type Ensemble struct {
 	cfg   Config
@@ -71,13 +104,7 @@ func Train(x [][]float64, y []float64, cfg Config, g *rng.RNG) (*Ensemble, error
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("gbt: %d inputs but %d targets", len(x), len(y))
 	}
-	if cfg.Trees <= 0 {
-		// Fall back to the default schedule but keep the caller's choices
-		// that are orthogonal to it (objective, pair budget, worker bound).
-		objective, rankPairs, workers := cfg.Objective, cfg.RankPairs, cfg.Workers
-		cfg = DefaultConfig()
-		cfg.Objective, cfg.RankPairs, cfg.Workers = objective, rankPairs, workers
-	}
+	cfg = cfg.withDefaults()
 	n := len(x)
 	e := &Ensemble{cfg: cfg}
 
@@ -139,6 +166,7 @@ func pairwiseGradients(y, pred, grad, hess []float64, pairs int, g *rng.RNG) {
 	}
 	for p := 0; p < pairs; p++ {
 		i, j := g.Intn(n), g.Intn(n)
+		//glint:ignore floateq -- labels are exact data values; only strictly ordered pairs carry rank signal
 		if y[i] == y[j] {
 			continue
 		}
@@ -206,6 +234,7 @@ func (e *Ensemble) RankAccuracy(x [][]float64, y []float64) float64 {
 	correct, total := 0, 0
 	for i := 0; i < len(ps); i++ {
 		for j := i + 1; j < len(ps); j++ {
+			//glint:ignore floateq -- labels are exact data values; tied pairs are excluded from the rank metric
 			if ps[i].y == ps[j].y {
 				continue
 			}

@@ -72,6 +72,7 @@ func bestSplitForFeature(x [][]float64, grad, hess []float64, idx []int, f int,
 			continue
 		}
 		cur, next := x[order[k]][f], x[order[k+1]][f]
+		//glint:ignore floateq -- adjacent sorted feature values; a split threshold is only valid between distinct values
 		if cur == next {
 			continue
 		}

@@ -158,7 +158,7 @@ func (s *Server) Serve(addr string) (string, error) {
 			s.mu.Lock()
 			if s.conns == nil { // closed concurrently
 				s.mu.Unlock()
-				conn.Close()
+				_ = conn.Close() // teardown; the close error is uninteresting
 				return
 			}
 			s.conns[conn] = struct{}{}
@@ -198,7 +198,7 @@ func (s *Server) DrainAndClose(timeout time.Duration) error {
 	}
 	s.mu.Lock()
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close() // teardown; the close error is uninteresting
 	}
 	s.conns = nil
 	s.mu.Unlock()
@@ -221,7 +221,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Lock()
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close() // teardown; the close error is uninteresting
 	}
 	s.conns = nil
 	s.mu.Unlock()
@@ -253,17 +253,17 @@ func DialTimeout(addr, device string, timeout time.Duration) (*Remote, error) {
 	}
 	// Bound the handshake List call; the deadline is lifted once bound.
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		conn.Close()
+		_ = conn.Close() // teardown; the close error is uninteresting
 		return nil, err
 	}
 	client := rpc.NewClient(conn)
 	var listed ListReply
 	if err := client.Call("Measure.List", struct{}{}, &listed); err != nil {
-		client.Close()
+		_ = client.Close() // already failing; the dial error wins
 		return nil, err
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		client.Close()
+		_ = client.Close() // already failing; the dial error wins
 		return nil, err
 	}
 	for _, name := range listed.Devices {
@@ -271,7 +271,7 @@ func DialTimeout(addr, device string, timeout time.Duration) (*Remote, error) {
 			return &Remote{client: client, device: device}, nil
 		}
 	}
-	client.Close()
+	_ = client.Close() // already failing; the dial error wins
 	return nil, fmt.Errorf("measure: server at %s does not host %q (has %v)", addr, device, listed.Devices)
 }
 

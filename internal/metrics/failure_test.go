@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// The evaluation arithmetic panics on domain errors rather than returning
+// NaN: a silent NaN would propagate into every downstream geomean and
+// corrupt a whole results table.
+func TestDomainPanics(t *testing.T) {
+	expectPanic(t, "Geomean(zero)", func() { Geomean([]float64{1, 0, 2}) })
+	expectPanic(t, "Geomean(negative)", func() { Geomean([]float64{-1}) })
+	expectPanic(t, "Reduction(zero baseline)", func() { Reduction(0, 1) })
+	expectPanic(t, "Reduction(negative baseline)", func() { Reduction(-2, 1) })
+	expectPanic(t, "Speedup(zero value)", func() { Speedup(1, 0) })
+	expectPanic(t, "Speedup(negative value)", func() { Speedup(1, -1) })
+}
+
+func TestGeomeanEmptyIsZero(t *testing.T) {
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %g, want 0", got)
+	}
+}
+
+func TestAddRowfUnknownTypeFallsBack(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRowf(struct{ X int }{7})
+	if !strings.Contains(tb.String(), "{7}") {
+		t.Fatalf("unknown cell type not rendered via %%v:\n%s", tb.String())
+	}
+}
+
+func TestTableShortRowPads(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "only") {
+		t.Fatalf("short row mangled: %q", last)
+	}
+	// A row shorter than the header must not panic String() and must keep
+	// the column count: the rendered row is padded with empty cells.
+	if len(strings.Fields(last)) != 1 {
+		t.Fatalf("padding cells should be empty, got %q", last)
+	}
+}
+
+func TestTableEmptyNoRows(t *testing.T) {
+	tb := NewTable("", "h1", "h2")
+	out := tb.String()
+	if !strings.Contains(out, "h1") || !strings.Contains(out, "----") {
+		t.Fatalf("headerless render broken:\n%q", out)
+	}
+}

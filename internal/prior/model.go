@@ -52,7 +52,8 @@ func Train(emb *blueprint.Embedding, gpus []hwspec.Spec, tasks []workload.Task,
 
 	m := &Model{Emb: emb, Nets: make(map[workload.Kind]*nn.Network)}
 	inDim := InputDim(emb.Dim)
-	for kind, exs := range byKind {
+	for _, kind := range sortedKinds(byKind) {
+		exs := byKind[kind]
 		layout := MustLayoutFor(kind)
 		x := mat.New(len(exs), inDim)
 		y := mat.New(len(exs), layout.TotalLen)

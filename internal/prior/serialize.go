@@ -3,6 +3,7 @@ package prior
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"github.com/neuralcompile/glimpse/internal/blueprint"
 	"github.com/neuralcompile/glimpse/internal/nn"
@@ -22,15 +23,26 @@ var kindNames = map[workload.Kind]string{
 	workload.Dense:          "dense",
 }
 
+// sortedKinds returns the keys of m in ascending kind order, so every
+// walk over per-kind tables is deterministic.
+func sortedKinds[V any](m map[workload.Kind]V) []workload.Kind {
+	kinds := make([]workload.Kind, 0, len(m))
+	for kind := range m {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
 // MarshalJSON serializes the trained hypernetwork H.
 func (m *Model) MarshalJSON() ([]byte, error) {
 	v := modelJSON{Emb: m.Emb, Nets: map[string]*nn.Network{}}
-	for kind, net := range m.Nets {
+	for _, kind := range sortedKinds(m.Nets) {
 		name, ok := kindNames[kind]
 		if !ok {
 			return nil, fmt.Errorf("prior: cannot serialize head for kind %v", kind)
 		}
-		v.Nets[name] = net
+		v.Nets[name] = m.Nets[kind]
 	}
 	return json.Marshal(v)
 }
@@ -44,20 +56,23 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if v.Emb == nil {
 		return fmt.Errorf("prior: serialized model missing embedding")
 	}
+	kindByName := map[string]workload.Kind{}
+	for kind, name := range kindNames {
+		kindByName[name] = kind
+	}
+	names := make([]string, 0, len(v.Nets))
+	for name := range v.Nets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	m.Emb = v.Emb
 	m.Nets = map[workload.Kind]*nn.Network{}
-	for name, net := range v.Nets {
-		found := false
-		for kind, kn := range kindNames {
-			if kn == name {
-				m.Nets[kind] = net
-				found = true
-				break
-			}
-		}
-		if !found {
+	for _, name := range names {
+		kind, ok := kindByName[name]
+		if !ok {
 			return fmt.Errorf("prior: serialized model has unknown head %q", name)
 		}
+		m.Nets[kind] = v.Nets[name]
 	}
 	return nil
 }

@@ -1,0 +1,158 @@
+package tlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// errWriter fails every write after the first n bytes-calls succeed.
+type errWriter struct {
+	okCalls int
+	calls   int
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.calls > w.okCalls {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestAppendSurfacesWriterError(t *testing.T) {
+	w := NewWriter(&errWriter{})
+	if err := w.Append(Entry{TaskName: "t"}); err == nil {
+		t.Fatal("Append on a failing writer returned nil error")
+	}
+}
+
+func TestAppendJSONLineSurfacesMarshalError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AppendJSONLine(&buf, make(chan int)); err == nil {
+		t.Fatal("AppendJSONLine marshaled an unmarshalable value")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed marshal still wrote %d bytes", buf.Len())
+	}
+}
+
+// TestConcurrentAppend hammers one Writer from many goroutines: every
+// entry must land intact on its own line with a unique sequence number.
+func TestConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&syncWriter{w: &buf})
+	const goroutines, perG = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := w.Append(Entry{TaskName: fmt.Sprintf("g%d-%d", g, i)}); err != nil {
+					t.Errorf("Append: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read after concurrent appends: %v", err)
+	}
+	if len(entries) != goroutines*perG {
+		t.Fatalf("read %d entries, want %d", len(entries), goroutines*perG)
+	}
+	seen := map[int]bool{}
+	for _, e := range entries {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence number %d", e.Seq)
+		}
+		seen[e.Seq] = true
+		if e.Seq < 1 || e.Seq > len(entries) {
+			t.Fatalf("sequence %d outside 1..%d", e.Seq, len(entries))
+		}
+	}
+}
+
+// syncWriter serializes writes to the underlying buffer; the Writer's own
+// mutex must still be what keeps whole lines from interleaving.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestReadRejectsMalformedMiddleLine(t *testing.T) {
+	in := "{\"seq\":1}\nnot json\n{\"seq\":3}\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed interior line was accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not identify line 2", err)
+	}
+}
+
+func TestReadJSONLinesDropsKilledTail(t *testing.T) {
+	in := "{\"seq\":1}\n{\"seq\":2,\"devi" // killed mid-append, no newline
+	var lines int
+	if err := ReadJSONLines(strings.NewReader(in), func([]byte) error { lines++; return nil }); err != nil {
+		t.Fatalf("truncated tail should be tolerated, got %v", err)
+	}
+	if lines != 1 {
+		t.Fatalf("saw %d lines, want 1 (the intact one)", lines)
+	}
+}
+
+func TestReadJSONLinesPropagatesCallbackError(t *testing.T) {
+	sentinel := errors.New("stop")
+	err := ReadJSONLines(strings.NewReader("{\"seq\":1}\n"), func([]byte) error { return sentinel })
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+// failingMeasurer returns an error from MeasureBatch.
+type failingMeasurer struct{}
+
+func (failingMeasurer) MeasureBatch(workload.Task, *space.Space, []int64) ([]gpusim.Result, error) {
+	return nil, errors.New("board on fire")
+}
+func (failingMeasurer) DeviceName() string { return "dead-gpu" }
+
+// okMeasurer returns one valid result per index.
+type okMeasurer struct{}
+
+func (okMeasurer) MeasureBatch(_ workload.Task, _ *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	out := make([]gpusim.Result, len(idxs))
+	for i := range out {
+		out[i] = gpusim.Result{Valid: true, GFLOPS: 1}
+	}
+	return out, nil
+}
+func (okMeasurer) DeviceName() string { return "ok-gpu" }
+
+func TestRecordingMeasurerPropagatesInnerError(t *testing.T) {
+	rm := &RecordingMeasurer{Inner: failingMeasurer{}, Out: NewWriter(&bytes.Buffer{})}
+	if _, err := rm.MeasureBatch(workload.Task{}, nil, []int64{0}); err == nil {
+		t.Fatal("inner measurer error was swallowed")
+	}
+}
+
+func TestRecordingMeasurerPropagatesLogError(t *testing.T) {
+	rm := &RecordingMeasurer{Inner: okMeasurer{}, Out: NewWriter(&errWriter{})}
+	if _, err := rm.MeasureBatch(workload.Task{}, nil, []int64{0}); err == nil {
+		t.Fatal("log write failure was swallowed; a lost measurement must surface")
+	}
+}
