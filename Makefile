@@ -56,6 +56,16 @@ bench-parallel:
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	@echo wrote BENCH_parallel.json
 
+# Observability overhead benchmarks as a machine-readable artifact:
+# disabled-tracer cost (must stay in the low single-digit ns, 0 allocs),
+# enabled-tracer cost, metric primitives, and the Reliable wrapper.
+.PHONY: bench-obs
+bench-obs:
+	$(GO) test -bench 'BenchmarkTracer|BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkReliableOverhead' \
+		-benchmem -run '^$$' ./internal/telemetry/... ./internal/measure/... \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@echo wrote BENCH_obs.json
+
 .PHONY: fmt
 fmt:
 	gofmt -w cmd internal examples

@@ -5,6 +5,11 @@
 //
 //	experiments [-run all|fig1|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation]
 //	            [-seed N] [-scale quick|default|full] [-v] [-workers N]
+//	            [-trace path]
+//
+// -trace writes a JSONL span trace of every Glimpse tuning loop the
+// harness runs (aggregate with cmd/tracereport); tracing observes only and
+// does not change any table.
 //
 // Scales: quick (CI smoke), default (laptop minutes, paper shapes), full
 // (every task, larger budgets; closest to the paper's setting).
@@ -21,6 +26,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/experiments"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/parallel"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -32,10 +38,26 @@ func main() {
 	budget := flag.Int("budget", 0, "override measurements per tuning run")
 	verbose := flag.Bool("v", false, "log per-run progress")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the tuning stages to this file")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
 	cfg := experiments.Config{Seed: *seed}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		tracer := telemetry.NewTracer(tf, nil)
+		cfg.Tracer = tracer
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace write error:", err)
+			}
+		}()
+	}
 	switch *scale {
 	case "quick":
 		cfg.Targets = []string{hwspec.TitanXp, hwspec.RTX3090}

@@ -6,7 +6,13 @@
 //
 //	fleet -model resnet-18 -gpus titan-xp,rtx-3090 -tuner glimpse \
 //	      -budget 128 -out plans/ [-kernels] [-artifacts dir] \
-//	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s] [-workers N]
+//	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s] [-workers N] \
+//	      [-trace path] [-debug-addr 127.0.0.1:6060]
+//
+// -trace writes a JSONL span trace (per-task tuning spans, checkpoint
+// writes, measurement degradation events); aggregate with cmd/tracereport.
+// -debug-addr serves net/http/pprof plus /telemetryz for live introspection
+// of a long fleet run.
 //
 // With -tuner glimpse, offline artifacts are trained per target (cached
 // under -artifacts if given). Other tuners: autotvm, chameleon, random.
@@ -35,6 +41,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/metrics"
 	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
@@ -52,8 +59,38 @@ func main() {
 	retries := flag.Int("retries", 3, "measurement attempts per batch before giving up")
 	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "deadline per measurement batch")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the fleet run to this file")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and /telemetryz on this address (empty: disabled)")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, nil)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet: trace write error:", err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		mux := telemetry.NewDebugMux(nil, map[string]telemetry.SnapshotFunc{
+			"pool": func() any { return parallel.Stats() },
+		})
+		dbgBound, closeDebug, err := telemetry.ServeDebug(*debugAddr, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "fleet: debug endpoints (pprof, /telemetryz) on http://%s\n", dbgBound)
+	}
 
 	var targets []string
 	for _, n := range strings.Split(*gpus, ",") {
@@ -99,6 +136,7 @@ func main() {
 		Model:           *model,
 		Budget:          tuner.Budget{MaxMeasurements: *budget, Patience: 4, Epsilon: 0.01},
 		GenerateKernels: *kernels,
+		Tracer:          tracer,
 		NewMeasurer: func(gpu string) (measure.Measurer, error) {
 			local, err := measure.NewLocal(gpu)
 			if err != nil {
@@ -108,6 +146,11 @@ func main() {
 				MaxAttempts:  *retries,
 				BatchTimeout: *batchTimeout,
 				Seed:         *seed,
+				EventSink: func(e measure.Event) {
+					tracer.Event(telemetry.StageMeasure, map[string]any{
+						"event": e.Kind, "backend": e.Backend, "task": e.Task, "detail": e.Detail,
+					})
+				},
 			}, local)
 		},
 		NewTuner: func(task workload.Task, gpu string) (tuner.Tuner, error) {
@@ -117,7 +160,9 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
-				return tk.Tuner(), nil
+				gl := tk.Tuner()
+				gl.Tracer = tracer
+				return gl, nil
 			case "autotvm":
 				return tuner.AutoTVM{}, nil
 			case "chameleon":

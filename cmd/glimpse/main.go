@@ -6,6 +6,7 @@
 //	glimpse -model resnet-18 -gpu titan-xp [-tasks 1,7,17] [-budget 192]
 //	        [-seed N] [-compare] [-rpc addr] [-artifacts path] [-log path]
 //	        [-checkpoint path] [-fallback-local] [-retries 3] [-workers N]
+//	        [-trace path]
 //
 // With -compare, AutoTVM runs on the same tasks for reference. With -rpc,
 // measurements go to a measurement server (cmd/measured) instead of the
@@ -16,10 +17,14 @@
 // present, trained and saved otherwise); -log appends every hardware
 // measurement as a JSON line (AutoTVM-style tuning log). -checkpoint
 // records each finished task in a JSONL file; rerunning with the same file
-// skips them.
+// skips them. -trace writes a JSONL span trace of the tuning loop's stages
+// (prior sampling, annealing, surrogate fits, acquisition, measurement);
+// aggregate it with cmd/tracereport. Tracing observes only — results are
+// byte-identical with and without it.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +41,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tlog"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
@@ -56,8 +62,24 @@ func main() {
 	retries := flag.Int("retries", 3, "with -rpc: measurement attempts per batch")
 	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "with -rpc: deadline per measurement batch")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
+	tracePath := flag.String("trace", "", "write a JSONL span trace of the tuning stages to this file")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, nil)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "glimpse: trace write error:", err)
+			}
+		}()
+	}
 
 	tasks, err := workload.Tasks(*model)
 	if err != nil {
@@ -98,6 +120,11 @@ func main() {
 			MaxAttempts:  *retries,
 			BatchTimeout: *batchTimeout,
 			Seed:         *seed,
+			EventSink: func(e measure.Event) {
+				tracer.Event(telemetry.StageMeasure, map[string]any{
+					"event": e.Kind, "backend": e.Backend, "task": e.Task, "detail": e.Detail,
+				})
+			},
 		}, chain...)
 		if err != nil {
 			fail(err)
@@ -111,12 +138,24 @@ func main() {
 	}
 
 	if *logPath != "" {
+		// Resume sequence numbering from whatever the log already holds, so
+		// appended sessions extend it instead of restarting at 1.
+		lastSeq := 0
+		if existing, err := os.ReadFile(*logPath); err == nil {
+			entries, err := tlog.Read(bytes.NewReader(existing))
+			if err != nil {
+				fail(fmt.Errorf("existing log %s: %w", *logPath, err))
+			}
+			if len(entries) > 0 {
+				lastSeq = entries[len(entries)-1].Seq
+			}
+		}
 		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fail(err)
 		}
 		defer f.Close()
-		m = &tlog.RecordingMeasurer{Inner: m, Out: tlog.NewWriter(f)}
+		m = &tlog.RecordingMeasurer{Inner: m, Out: tlog.NewWriter(f, lastSeq)}
 	}
 
 	g := rng.New(*seed)
@@ -172,6 +211,7 @@ func main() {
 			fail(err)
 		}
 		gl := tk.Tuner()
+		gl.Tracer = tracer
 		res, err := gl.Tune(task, sp, m, bud, g.Split("tune/"+task.Name()))
 		if err != nil {
 			fail(err)
@@ -198,7 +238,10 @@ func main() {
 			}
 		}
 		if *compare {
-			ares, err := tuner.AutoTVM{}.Tune(task, sp, m, bud, g.Split("autotvm/"+task.Name()))
+			atvm := tuner.AutoTVM{}
+			atvm.Anneal.Tracer = tracer
+			atvm.Model.Tracer = tracer
+			ares, err := atvm.Tune(task, sp, m, bud, g.Split("autotvm/"+task.Name()))
 			if err != nil {
 				fail(err)
 			}

@@ -10,6 +10,10 @@
 // Usage:
 //
 //	measured [-addr 127.0.0.1:4817] [-gpus titan-xp,rtx-3090,...] [-drain 10s]
+//	         [-debug-addr 127.0.0.1:6060]
+//
+// -debug-addr serves net/http/pprof plus /telemetryz (JSON snapshot of the
+// serving counters) for live introspection of a long measurement campaign.
 package main
 
 import (
@@ -23,12 +27,15 @@ import (
 
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/parallel"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4817", "listen address")
 	gpus := flag.String("gpus", strings.Join(hwspec.Targets, ","), "comma-separated GPUs to host")
 	drain := flag.Duration("drain", 10*time.Second, "max wait for in-flight batches on shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and /telemetryz on this address (empty: disabled)")
 	flag.Parse()
 
 	var names []string
@@ -46,6 +53,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("measured: serving %v on %s (health: Measure.Ping)\n", names, bound)
+
+	if *debugAddr != "" {
+		mux := telemetry.NewDebugMux(nil, map[string]telemetry.SnapshotFunc{
+			"server": func() any { return srv.Stats() },
+			"pool":   func() any { return parallel.Stats() },
+		})
+		dbgBound, closeDebug, err := telemetry.ServeDebug(*debugAddr, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "measured:", err)
+			os.Exit(1)
+		}
+		defer closeDebug()
+		fmt.Printf("measured: debug endpoints (pprof, /telemetryz) on http://%s\n", dbgBound)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -48,7 +48,7 @@ func main() {
 		fail(err)
 	}
 	defer f.Close()
-	w := tlog.NewWriter(f)
+	w := tlog.NewWriter(f, 0)
 	g := rng.New(*seed)
 
 	total := 0

@@ -1,0 +1,143 @@
+// Command tracereport aggregates a JSONL span trace (written by
+// cmd/glimpse -trace, cmd/experiments -trace, or cmd/fleet -trace) into a
+// per-stage time breakdown: span counts, total/mean/min/max durations, and
+// each stage's share of traced time, plus point-event counts.
+//
+// Usage:
+//
+//	tracereport trace.jsonl
+//	tracereport < trace.jsonl
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+	"github.com/neuralcompile/glimpse/internal/tlog"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+	table, err := report(in, name)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(table.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracereport:", err)
+	os.Exit(1)
+}
+
+// stageAgg accumulates one stage's spans and events.
+type stageAgg struct {
+	spans    int
+	events   int
+	totalUS  int64
+	minUS    int64
+	maxUS    int64
+	hasSpans bool
+}
+
+// aggregate folds a JSONL trace into per-stage aggregates. It tolerates a
+// truncated final line (a tracer killed mid-write) like every JSONL reader
+// in this repository.
+func aggregate(r io.Reader) (map[string]*stageAgg, error) {
+	aggs := map[string]*stageAgg{}
+	err := tlog.ReadJSONLines(r, func(line []byte) error {
+		var ev telemetry.SpanEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		if ev.Stage == "" {
+			return fmt.Errorf("trace record %d has no stage", ev.Seq)
+		}
+		a := aggs[ev.Stage]
+		if a == nil {
+			a = &stageAgg{}
+			aggs[ev.Stage] = a
+		}
+		switch ev.Kind {
+		case "event":
+			a.events++
+		default: // "span"
+			a.spans++
+			a.totalUS += ev.DurUS
+			if !a.hasSpans || ev.DurUS < a.minUS {
+				a.minUS = ev.DurUS
+			}
+			if !a.hasSpans || ev.DurUS > a.maxUS {
+				a.maxUS = ev.DurUS
+			}
+			a.hasSpans = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("trace is empty")
+	}
+	return aggs, nil
+}
+
+// report renders the aggregate breakdown, stages sorted by total time
+// (ties by name so output is reproducible).
+func report(r io.Reader, name string) (*metrics.Table, error) {
+	aggs, err := aggregate(r)
+	if err != nil {
+		return nil, err
+	}
+	stages := make([]string, 0, len(aggs))
+	grand := int64(0)
+	for s, a := range aggs {
+		stages = append(stages, s)
+		grand += a.totalUS
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		ti, tj := aggs[stages[i]].totalUS, aggs[stages[j]].totalUS
+		if ti != tj {
+			return ti > tj
+		}
+		return stages[i] < stages[j]
+	})
+
+	table := metrics.NewTable(
+		fmt.Sprintf("Trace breakdown: %s", name),
+		"stage", "spans", "events", "total ms", "mean ms", "min ms", "max ms", "share")
+	for _, s := range stages {
+		a := aggs[s]
+		mean := 0.0
+		if a.spans > 0 {
+			mean = float64(a.totalUS) / float64(a.spans) / 1e3
+		}
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(a.totalUS) / float64(grand)
+		}
+		table.AddRowf(s, a.spans, a.events,
+			fmt.Sprintf("%.3f", float64(a.totalUS)/1e3),
+			fmt.Sprintf("%.3f", mean),
+			fmt.Sprintf("%.3f", float64(a.minUS)/1e3),
+			fmt.Sprintf("%.3f", float64(a.maxUS)/1e3),
+			fmt.Sprintf("%.1f%%", share))
+	}
+	return table, nil
+}

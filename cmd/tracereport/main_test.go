@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+)
+
+// buildTrace writes a small deterministic trace: two anneal spans (2ms,
+// 4ms), one measure span (1ms), and one measure event.
+func buildTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	clk := telemetry.NewFakeClock(time.Unix(0, 0))
+	tr := telemetry.NewTracer(&buf, clk)
+
+	sp := tr.Start(telemetry.StageAnneal)
+	clk.Advance(2 * time.Millisecond)
+	sp.End()
+
+	sp = tr.Start(telemetry.StageAnneal)
+	clk.Advance(4 * time.Millisecond)
+	sp.End()
+
+	sp = tr.Start(telemetry.StageMeasure)
+	clk.Advance(time.Millisecond)
+	sp.End()
+
+	tr.Event(telemetry.StageMeasure, map[string]any{"event": "retry"})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAggregate(t *testing.T) {
+	aggs, err := aggregate(bytes.NewReader(buildTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := aggs[telemetry.StageAnneal]
+	if an == nil || an.spans != 2 || an.events != 0 {
+		t.Fatalf("anneal agg = %+v", an)
+	}
+	if an.totalUS != 6000 || an.minUS != 2000 || an.maxUS != 4000 {
+		t.Fatalf("anneal timing = %+v", an)
+	}
+	me := aggs[telemetry.StageMeasure]
+	if me == nil || me.spans != 1 || me.events != 1 || me.totalUS != 1000 {
+		t.Fatalf("measure agg = %+v", me)
+	}
+}
+
+func TestReportRendersStagesByTotalTime(t *testing.T) {
+	table, err := report(bytes.NewReader(buildTrace(t)), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	for _, want := range []string{"anneal", "measure", "85.7%", "14.3%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// anneal (6ms) must come before measure (1ms).
+	if strings.Index(out, "anneal") > strings.Index(out, "measure") {
+		t.Fatalf("stages not sorted by total time:\n%s", out)
+	}
+}
+
+func TestAggregateToleratesTruncatedTail(t *testing.T) {
+	trace := buildTrace(t)
+	// Simulate a tracer killed mid-append: chop the final line in half.
+	cut := trace[:len(trace)-8]
+	aggs, err := aggregate(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("truncated tail rejected: %v", err)
+	}
+	if aggs[telemetry.StageAnneal].spans != 2 {
+		t.Fatalf("lost full spans to a torn tail: %+v", aggs)
+	}
+}
+
+func TestAggregateRejectsEmptyAndGarbage(t *testing.T) {
+	if _, err := aggregate(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := aggregate(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -90,10 +90,44 @@ func TestRawGoFixture(t *testing.T) {
 	checkFixture(t, "testdata/rawgo", fixturePath+"/internal/core")
 }
 
-// TestRawGoGate proves the pool layers themselves may spawn goroutines.
+// TestRawGoGate proves the pool layers themselves may spawn goroutines,
+// including the telemetry layer's background debug-server loop.
 func TestRawGoGate(t *testing.T) {
-	for _, path := range []string{"internal/parallel", "internal/fleet", "internal/measure"} {
+	for _, path := range []string{"internal/parallel", "internal/fleet", "internal/measure", "internal/telemetry"} {
 		checkSilent(t, "testdata/rawgo", fixturePath+"/"+path, RawGo)
+	}
+}
+
+// TestTelemetryClockFixture exercises the clock carve-out: inside
+// internal/telemetry, wall-clock reads in methods of Clock-implementing
+// types pass; reads anywhere else in the package are findings.
+func TestTelemetryClockFixture(t *testing.T) {
+	checkFixture(t, "testdata/telemetry", fixturePath+"/internal/telemetry")
+}
+
+// TestTelemetryClockGate proves the carve-out exists only in
+// internal/telemetry: the same fixture loaded as another deterministic
+// package flags the Clock implementation's time.Now too (one finding
+// beyond the fixture's // want set, on the sysClock.Now line).
+func TestTelemetryClockGate(t *testing.T) {
+	pkg, err := LoadDir("testdata/telemetry", fixturePath+"/internal/anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
+	want := expectations(t, pkg)
+	if len(got) != len(want)+1 {
+		t.Fatalf("outside the seam package: %d findings, want %d (carve-out must not apply):\n%v",
+			len(got), len(want)+1, got)
+	}
+	seamLine := false
+	for _, f := range got {
+		if strings.Contains(f.Msg, "time.Now") && !want[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] {
+			seamLine = true
+		}
+	}
+	if !seamLine {
+		t.Fatalf("extra finding is not the Clock implementation's time.Now: %v", got)
 	}
 }
 

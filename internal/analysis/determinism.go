@@ -21,6 +21,7 @@ var deterministicPkgs = []string{
 	"internal/rng",
 	"internal/prior",
 	"internal/space",
+	"internal/telemetry",
 }
 
 // wallClockFuncs are the package time entry points that read or depend on
@@ -41,7 +42,11 @@ var seededConstructors = map[string]bool{
 // deterministic packages:
 //
 //  1. no wall-clock reads (time.Now and friends) — results must not
-//     depend on when or how fast the run executes;
+//     depend on when or how fast the run executes. The one carve-out is
+//     the telemetry clock seam: a method on a type that implements the
+//     package's Clock interface (telemetry.Clock in production) may read
+//     the wall clock, because that is exactly the injection point that
+//     keeps it out of everything else;
 //  2. no global math/rand stream — all randomness flows through a seeded
 //     *rng.RNG (internal/rng itself is the sanctioned wrapper and may
 //     construct seeded rand.New/rand.NewSource generators);
@@ -66,6 +71,7 @@ func runDeterminism(p *Pass) {
 		return
 	}
 	isRNGSeam := hasSuffixPath(p.Pkg.Path, "internal/rng")
+	isClockSeam := hasSuffixPath(p.Pkg.Path, "internal/telemetry")
 	for _, file := range p.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -77,7 +83,10 @@ func runDeterminism(p *Pass) {
 				switch obj.Pkg().Path() {
 				case "time":
 					if _, isFunc := obj.(*types.Func); isFunc && wallClockFuncs[obj.Name()] {
-						p.Reportf(n.Pos(), "time.%s reads the wall clock; deterministic packages must take time through an injected hook (cf. measure.Config.Now)", obj.Name())
+						if isClockSeam && inClockImpl(p, file, n.Pos()) {
+							return true // the sanctioned telemetry.Clock seam
+						}
+						p.Reportf(n.Pos(), "time.%s reads the wall clock; deterministic packages must take time through the telemetry.Clock seam or an injected hook (cf. measure.Config.Now)", obj.Name())
 					}
 				case "math/rand", "math/rand/v2":
 					if isRNGSeam {
@@ -96,6 +105,52 @@ func runDeterminism(p *Pass) {
 			return true
 		})
 	}
+}
+
+// inClockImpl reports whether pos sits inside a method of a type that
+// implements the package's exported Clock interface — the sanctioned
+// wall-clock seam (telemetry.Clock in production). Only the concrete
+// Clock implementations may read time; everything else must have a Clock
+// injected.
+func inClockImpl(p *Pass, file *ast.File, pos token.Pos) bool {
+	iface := clockInterface(p)
+	if iface == nil {
+		return false
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		if pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		recv := fd.Recv.List[0].Type
+		if star, ok := recv.(*ast.StarExpr); ok {
+			recv = star.X
+		}
+		id, ok := recv.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := identObj(p, id)
+		if obj == nil {
+			return false
+		}
+		t := obj.Type()
+		return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// clockInterface looks up the package-scoped interface named Clock.
+func clockInterface(p *Pass) *types.Interface {
+	obj := p.Pkg.Types.Scope().Lookup("Clock")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
 }
 
 // checkMapRange flags `for ... := range m` over a map when the loop body

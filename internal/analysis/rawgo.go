@@ -3,12 +3,14 @@ package analysis
 import "go/ast"
 
 // poolPkgs are the layers allowed to spawn goroutines directly: the worker
-// pool itself and the fleet/measurement orchestrators whose concurrency is
-// the whole point of the package.
+// pool itself, the fleet/measurement orchestrators whose concurrency is
+// the whole point of the package, and the telemetry layer (its debug HTTP
+// server runs a background serve loop).
 var poolPkgs = []string{
 	"internal/parallel",
 	"internal/fleet",
 	"internal/measure",
+	"internal/telemetry",
 }
 
 // RawGo flags `go` statements outside the pool layers. Search hot paths
@@ -19,7 +21,7 @@ var poolPkgs = []string{
 // annotation with the reason.
 var RawGo = &Analyzer{
 	Name: "rawgo",
-	Doc:  "forbid raw goroutines outside internal/parallel, internal/fleet, and internal/measure",
+	Doc:  "forbid raw goroutines outside internal/parallel, internal/fleet, internal/measure, and internal/telemetry",
 	Run:  runRawGo,
 }
 

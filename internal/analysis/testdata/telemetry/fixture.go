@@ -1,0 +1,41 @@
+// Package fixture exercises the telemetry clock carve-out of the
+// determinism rule: inside internal/telemetry, wall-clock reads are
+// permitted only in methods of types implementing the package's Clock
+// interface; everywhere else they stay findings.
+package fixture
+
+import "time"
+
+// Clock is the injectable time seam (mirrors telemetry.Clock).
+type Clock interface {
+	Now() time.Time
+}
+
+type sysClock struct{}
+
+// Now is the sanctioned wall-clock read: sysClock implements Clock.
+func (sysClock) Now() time.Time { return time.Now() }
+
+type fakeClock struct{ t time.Time }
+
+// Now on *fakeClock also implements Clock (pointer receiver) and reads no
+// wall clock at all.
+func (c *fakeClock) Now() time.Time { return c.t }
+
+// Advance moves the fake instant; pure time arithmetic is always fine.
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+type notAClock struct{}
+
+// Now has the wrong signature, so notAClock does not implement Clock.
+func (notAClock) Now() int { return 0 }
+
+func (notAClock) Read() time.Time {
+	return time.Now() // want determinism
+}
+
+func bare() time.Duration {
+	start := time.Now()          // want determinism
+	time.Sleep(time.Millisecond) // want determinism
+	return time.Until(start)     // want determinism
+}

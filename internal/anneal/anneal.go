@@ -16,6 +16,7 @@ import (
 
 	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 )
 
 // Problem describes a discrete maximization problem for the annealer.
@@ -44,6 +45,10 @@ type Config struct {
 	// Workers bounds the goroutines sharding the chains; <= 0 uses the
 	// process-wide default (see internal/parallel), 1 runs serially.
 	Workers int
+	// Tracer records one "anneal" span per Run (nil: tracing disabled).
+	// Tracing is observation only: it never touches the RNG streams, so
+	// results are byte-identical with and without it.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig mirrors AutoTVM's annealer scale, shrunk to simulator speed.
@@ -89,6 +94,11 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 	if topK <= 0 {
 		topK = 1
 	}
+	sp := cfg.Tracer.Start(telemetry.StageAnneal)
+	sp.SetAttr("chains", cfg.Chains)
+	sp.SetAttr("steps", cfg.Steps)
+	sp.SetAttr("topk", topK)
+	defer sp.End()
 
 	neighbor := p.Neighbor
 	if neighbor == nil {
@@ -150,6 +160,7 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 		}
 	}
 
+	sp.SetAttr("visited", len(best))
 	out := make([]Result, 0, len(best))
 	for i, s := range best {
 		out = append(out, Result{Index: i, Score: s})

@@ -1,11 +1,14 @@
 package anneal
 
 import (
+	"bytes"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 )
 
 func TestRunFindsGlobalOptimumSmallSpace(t *testing.T) {
@@ -182,6 +185,43 @@ func TestRunWorkerCountInvariant(t *testing.T) {
 			if res[i] != ref[i] {
 				t.Fatalf("workers=%d: result[%d] = %+v want %+v", workers, i, res[i], ref[i])
 			}
+		}
+	}
+}
+
+// TestRunTracedIsByteIdentical pins the telemetry contract at the anneal
+// layer: a traced run (any worker count) returns exactly what the
+// untraced run returns, and the trace carries one "anneal" span.
+func TestRunTracedIsByteIdentical(t *testing.T) {
+	p := Problem{
+		Size:  20000,
+		Score: func(i int64) float64 { return math.Sin(float64(i)/300) + math.Cos(float64(i)/77) },
+		Neighbor: func(i int64, g *rng.RNG) int64 {
+			return i + int64(g.Intn(401)) - 200
+		},
+	}
+	ref, err := Run(p, Config{Chains: 24, Steps: 80, StartTemp: 2, FinalTemp: 0.05, Workers: 1}, 32, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var trace bytes.Buffer
+		cfg := Config{Chains: 24, Steps: 80, StartTemp: 2, FinalTemp: 0.05, Workers: workers,
+			Tracer: telemetry.NewTracer(&trace, telemetry.NewFakeClock(time.Unix(0, 0)))}
+		res, err := Run(p, cfg, 32, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(ref) {
+			t.Fatalf("workers=%d traced: %d results want %d", workers, len(res), len(ref))
+		}
+		for i := range res {
+			if res[i] != ref[i] {
+				t.Fatalf("workers=%d traced: result[%d] = %+v want %+v", workers, i, res[i], ref[i])
+			}
+		}
+		if !bytes.Contains(trace.Bytes(), []byte(`"stage":"anneal"`)) {
+			t.Fatalf("trace missing anneal span: %s", trace.String())
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// TestTracedRunIsByteIdentical pins the telemetry contract: tracing
+// observes only. The same seed must produce byte-identical results with
+// tracing off, tracing on, and tracing on at a different worker count —
+// and the trace must cover every stage of the tuning loop.
+func TestTracedRunIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs full tuning sessions")
+	}
+	tk := smallToolkit(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	budget := tuner.Budget{MaxMeasurements: 64}
+
+	run := func(tracer *telemetry.Tracer, workers int) *tuner.Result {
+		t.Helper()
+		gl := tk.Tuner()
+		gl.Tracer = tracer
+		gl.Workers = workers
+		res, err := gl.Tune(task, sp, measure.MustNewLocal(hwspec.TitanXp), budget, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	marshal := func(res *tuner.Result) []byte {
+		t.Helper()
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	plain := marshal(run(nil, 1))
+
+	var trace bytes.Buffer
+	tr := telemetry.NewTracer(&trace, telemetry.NewFakeClock(time.Unix(0, 0)))
+	traced := marshal(run(tr, 1))
+	if !bytes.Equal(plain, traced) {
+		t.Fatalf("tracing changed the result:\nplain:  %s\ntraced: %s", plain, traced)
+	}
+
+	tracedPar := marshal(run(telemetry.NewTracer(&bytes.Buffer{}, nil), 4))
+	if !bytes.Equal(plain, tracedPar) {
+		t.Fatalf("traced parallel run diverged:\nplain: %s\ngot:   %s", plain, tracedPar)
+	}
+
+	// The trace covers the loop's stages.
+	stages := map[string]bool{}
+	for _, line := range bytes.Split(trace.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev telemetry.SpanEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		stages[ev.Stage] = true
+	}
+	for _, want := range []string{
+		telemetry.StagePriorSample, telemetry.StageAnneal,
+		telemetry.StageSurrogateTrain, telemetry.StageSurrogateScore,
+		telemetry.StageAcquisition, telemetry.StageEnsembleVote,
+		telemetry.StageMeasure,
+	} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, stages)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/prior"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	Toolkit core.ToolkitConfig
 	// Progress, when set, receives one line per completed tuning run.
 	Progress io.Writer
+	// Tracer, when set, records per-stage spans of every Glimpse tuning
+	// loop the harness runs (cmd/experiments -trace). Observation only:
+	// traced and untraced runs produce identical tables.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -316,6 +321,7 @@ func (e *Env) TunerFor(name string, task workload.Task, target string) (tuner.Tu
 		}
 		gl := tk.Tuner()
 		gl.BatchSize = e.cfg.BatchSize
+		gl.Tracer = e.cfg.Tracer
 		return gl, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown tuner %q", name)

@@ -16,6 +16,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
@@ -96,6 +97,11 @@ type Config struct {
 	// Checkpoint, when set, records each completed task and lets a
 	// resumed session skip tasks already recorded for (model, gpu).
 	Checkpoint *Checkpoint
+	// Tracer records one "task" span per tuning task plus "checkpoint"
+	// spans and failure events (nil: tracing disabled). The tracer is safe
+	// for the concurrent task goroutines; it observes only and never
+	// steers scheduling or seeding.
+	Tracer *telemetry.Tracer
 }
 
 func (c *Config) resolve() error {
@@ -145,7 +151,16 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
+			tsp := cfg.Tracer.Start(telemetry.StageTask)
+			tsp.SetAttr("task", task.Name())
+			tsp.SetAttr("gpu", m.DeviceName())
+			defer tsp.End()
+
 			failed := func(err error) {
+				tsp.SetAttr("outcome", "failed")
+				cfg.Tracer.Event(telemetry.StageTask, map[string]any{
+					"event": "task_failed", "task": task.Name(), "gpu": m.DeviceName(), "error": err.Error(),
+				})
 				results[i] = outcome{tp: TaskPlan{
 					TaskName:    task.Name(),
 					TaskIndex:   task.Index,
@@ -160,6 +175,7 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 			if cfg.Checkpoint != nil {
 				if tp, ok := cfg.Checkpoint.Lookup(cfg.Model, m.DeviceName(), task.Name()); ok {
 					tp.FromCheckpoint = true
+					tsp.SetAttr("outcome", "resumed")
 					results[i] = outcome{tp: tp}
 					return
 				}
@@ -205,11 +221,17 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 				tp.Kernel = kern.Render()
 			}
 			if cfg.Checkpoint != nil {
-				if err := cfg.Checkpoint.Append(cfg.Model, m.DeviceName(), tp); err != nil {
+				csp := cfg.Tracer.Start(telemetry.StageCheckpoint)
+				csp.SetAttr("task", task.Name())
+				err := cfg.Checkpoint.Append(cfg.Model, m.DeviceName(), tp)
+				csp.End()
+				if err != nil {
 					results[i] = outcome{tp: tp, err: fmt.Errorf("fleet: checkpoint %s: %w", task.Name(), err)}
 					return
 				}
 			}
+			tsp.SetAttr("outcome", "ok")
+			tsp.SetAttr("measurements", res.Measurements)
 			results[i] = outcome{tp: tp}
 		}(i, task)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/neuralcompile/glimpse/internal/parallel"
 	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 )
 
 // Objective selects the boosting loss.
@@ -39,6 +40,9 @@ type Config struct {
 	// prediction; <= 0 uses the process-wide default (internal/parallel),
 	// 1 runs serially. Output is identical for any worker count.
 	Workers int
+	// Tracer records one "gbt_train" span per Train call (nil: tracing
+	// disabled). Observation only — it never touches the RNG stream.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig mirrors the compact models AutoTVM uses in its tuner loop.
@@ -106,6 +110,10 @@ func Train(x [][]float64, y []float64, cfg Config, g *rng.RNG) (*Ensemble, error
 	}
 	cfg = cfg.withDefaults()
 	n := len(x)
+	sp := cfg.Tracer.Start(telemetry.StageGBTTrain)
+	sp.SetAttr("rows", n)
+	sp.SetAttr("trees", cfg.Trees)
+	defer sp.End()
 	e := &Ensemble{cfg: cfg}
 
 	// Base score: mean for regression, 0 for ranking.

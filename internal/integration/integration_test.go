@@ -64,7 +64,7 @@ func TestGraphToBinaryPipeline(t *testing.T) {
 	}
 	defer remote.Close()
 	var logBuf bytes.Buffer
-	m := &tlog.RecordingMeasurer{Inner: remote, Out: tlog.NewWriter(&logBuf)}
+	m := &tlog.RecordingMeasurer{Inner: remote, Out: tlog.NewWriter(&logBuf, 0)}
 
 	// 3. Tune.
 	res, err := tuner.AutoTVM{}.Tune(task, sp, m,

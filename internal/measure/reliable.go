@@ -52,6 +52,12 @@ type ReliableConfig struct {
 	// Sleep and Now are test hooks (default time.Sleep / time.Now).
 	Sleep func(time.Duration)
 	Now   func() time.Time
+	// EventSink, when non-nil, observes every recorded degradation Event
+	// (retry, backoff, breaker transitions, failover, ...) as it happens —
+	// the hook the telemetry tracer attaches to. It is invoked with
+	// Reliable's internal mutex held: it must be fast, must not block, and
+	// must not call back into the Reliable.
+	EventSink func(Event)
 }
 
 func (c *ReliableConfig) resolve() {
@@ -115,7 +121,7 @@ type ReliableStats struct {
 type Event struct {
 	Backend string // device name of the backend involved
 	Task    string
-	Kind    string // "retry" | "timeout" | "failover" | "breaker_open" | "breaker_close" | "breaker_probe" | "skip_open" | "sanitized" | "exhausted"
+	Kind    string // "retry" | "backoff" | "timeout" | "failover" | "breaker_open" | "breaker_close" | "breaker_probe" | "skip_open" | "sanitized" | "exhausted"
 	Detail  string
 }
 
@@ -198,6 +204,9 @@ func (r *Reliable) BreakerStates() []BreakerState {
 func (r *Reliable) record(e Event) {
 	if len(r.events) < maxEvents {
 		r.events = append(r.events, e)
+	}
+	if r.cfg.EventSink != nil {
+		r.cfg.EventSink(e)
 	}
 }
 
@@ -322,11 +331,13 @@ func (r *Reliable) tryBackend(ctx context.Context, be *backend, probe bool, task
 			break // breaker tripped (or probe failed): stop hammering this backend
 		}
 		if attempt < attempts {
+			d := r.backoff(name, task.Name(), seq, attempt)
 			r.mu.Lock()
 			r.record(Event{Backend: name, Task: task.Name(), Kind: "retry",
 				Detail: fmt.Sprintf("attempt %d/%d: %v", attempt, attempts, err)})
+			r.record(Event{Backend: name, Task: task.Name(), Kind: "backoff", Detail: d.String()})
 			r.mu.Unlock()
-			r.cfg.Sleep(r.backoff(name, task.Name(), seq, attempt))
+			r.cfg.Sleep(d)
 		}
 	}
 	return nil, lastErr

@@ -60,6 +60,24 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	inflight int
 	draining bool
+	batches  int64 // measurement batches served since start
+	configs  int64 // configuration points measured since start
+}
+
+// ServerStats is a point-in-time snapshot of server activity, exposed on
+// the /telemetryz debug endpoint of cmd/measured.
+type ServerStats struct {
+	Batches  int64 `json:"batches"`
+	Configs  int64 `json:"configs"`
+	InFlight int   `json:"in_flight"`
+	Draining bool  `json:"draining"`
+}
+
+// Stats snapshots cumulative serving counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{Batches: s.batches, Configs: s.configs, InFlight: s.inflight, Draining: s.draining}
 }
 
 // NewServer builds a server hosting the named GPUs.
@@ -84,6 +102,8 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 		return ErrDraining
 	}
 	s.inflight++
+	s.batches++
+	s.configs += int64(len(args.Indices))
 	dev, ok := s.devices[args.Device]
 	s.mu.Unlock()
 	defer func() {

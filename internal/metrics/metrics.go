@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Geomean returns the geometric mean of strictly positive values; it
@@ -94,16 +95,25 @@ func (t *Table) AddRowf(cells ...interface{}) {
 	t.AddRow(row...)
 }
 
-// String renders the table.
+// String renders the table. Column widths count runes, not bytes, so
+// multi-byte cells (device names, en dashes) stay aligned. Rows set
+// directly on the struct may be ragged — longer than the header — without
+// breaking rendering.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -117,7 +127,10 @@ func (t *Table) String() string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			sb.WriteString(c)
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
 		}
 		sb.WriteByte('\n')
 	}
@@ -126,7 +139,9 @@ func (t *Table) String() string {
 	for _, w := range widths {
 		total += w + 2
 	}
-	sb.WriteString(strings.Repeat("-", total-2))
+	if total > 2 {
+		sb.WriteString(strings.Repeat("-", total-2))
+	}
 	sb.WriteByte('\n')
 	for _, row := range t.Rows {
 		writeRow(row)

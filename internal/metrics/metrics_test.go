@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestGeomean(t *testing.T) {
@@ -79,5 +80,67 @@ func TestTableRowClipping(t *testing.T) {
 	tb.AddRow("x", "overflow")
 	if len(tb.Rows[0]) != 1 {
 		t.Fatalf("row not clipped: %v", tb.Rows[0])
+	}
+}
+
+// TestTableMultiByteAlignment: widths must count runes, not bytes — a
+// UTF-8 cell ("α–β" is 3 runes, 7 bytes) must not push its column wide.
+func TestTableMultiByteAlignment(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.AddRow("α–β", "1")
+	tb.AddRow("abc", "2")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Rows: header, rule, two data rows. Both data rows place their second
+	// column at the same rune offset.
+	off1 := runeIndex(lines[2], "1")
+	off2 := runeIndex(lines[3], "2")
+	if off1 != off2 {
+		t.Fatalf("multi-byte cell misaligned (%d vs %d):\n%s", off1, off2, tb.String())
+	}
+}
+
+func runeIndex(s, sub string) int {
+	byteIdx := strings.Index(s, sub)
+	if byteIdx < 0 {
+		return -1
+	}
+	return utf8.RuneCountInString(s[:byteIdx])
+}
+
+// TestTableNoHeaders: a degenerate table (no headers, no rows) must render
+// without panicking — the divider previously repeated a negative count.
+func TestTableNoHeaders(t *testing.T) {
+	tb := NewTable("")
+	out := tb.String()
+	if strings.Contains(out, "-") {
+		t.Fatalf("empty table drew a divider: %q", out)
+	}
+	tb2 := NewTable("just a title")
+	if got := tb2.String(); !strings.Contains(got, "just a title") {
+		t.Fatalf("title lost: %q", got)
+	}
+}
+
+// TestTableRaggedRows: rows assigned directly to the struct (wider than
+// the header) must render instead of panicking on width lookup.
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.Rows = append(tb.Rows, []string{"a", "b", "c"})
+	tb.Rows = append(tb.Rows, []string{"x"})
+	out := tb.String()
+	for _, want := range []string{"a", "b", "c", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ragged row cell %q missing:\n%s", want, out)
+		}
+	}
+}
+
+// TestTableEmptyRows: a table with headers and zero rows still renders a
+// header and divider.
+func TestTableEmptyRows(t *testing.T) {
+	tb := NewTable("t", "h1", "h2")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 3 { // title, header, rule
+		t.Fatalf("empty table has %d lines: %q", len(lines), tb.String())
 	}
 }

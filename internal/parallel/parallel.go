@@ -45,6 +45,27 @@ func Resolve(workers int) int {
 	return DefaultWorkers()
 }
 
+// regionCount / itemCount tally pool activity since process start; they
+// feed the /telemetryz introspection endpoint and cost two atomic adds
+// per For call (not per item).
+var (
+	regionCount atomic.Int64
+	itemCount   atomic.Int64
+)
+
+// PoolStats is a point-in-time snapshot of pool activity.
+type PoolStats struct {
+	// Regions is the number of For/Map parallel regions entered.
+	Regions int64 `json:"regions"`
+	// Items is the total number of work items dispatched across regions.
+	Items int64 `json:"items"`
+}
+
+// Stats snapshots pool activity since process start.
+func Stats() PoolStats {
+	return PoolStats{Regions: regionCount.Load(), Items: itemCount.Load()}
+}
+
 // For runs fn(i) for every i in [0, n) on at most workers goroutines.
 // workers <= 0 resolves to DefaultWorkers(). With one worker (or n <= 1)
 // fn runs inline on the calling goroutine, so serial behavior is exactly
@@ -54,6 +75,8 @@ func For(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	regionCount.Add(1)
+	itemCount.Add(int64(n))
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n

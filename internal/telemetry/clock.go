@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the injectable time source for all telemetry timing. It is the
+// one sanctioned seam to the wall clock in the deterministic layers
+// (enforced by glint's determinism rule): binaries install SystemClock,
+// tests install a *FakeClock, and algorithmic code never reads time at
+// all — spans observe the run, they must not steer it.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock returns the real wall clock.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+// Now reads the wall clock. This method is the only place in the
+// deterministic layers allowed to call time.Now (the glint carve-out
+// admits wall-clock reads solely inside Clock implementations).
+func (systemClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock for tests: spans timed against it
+// produce byte-identical traces run after run. It is safe for concurrent
+// use.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{t: start} }
+
+// Now returns the current fake instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// SnapshotFunc supplies one named section of the /telemetryz body — e.g.
+// a measure.Reliable stats snapshot or a server's in-flight count. It
+// must be safe to call from the serving goroutine at any time.
+type SnapshotFunc func() any
+
+// NewDebugMux builds the live-introspection handler: the net/http/pprof
+// suite under /debug/pprof/ and a /telemetryz endpoint returning the
+// registry snapshot plus every extra section as indented JSON.
+func NewDebugMux(reg *Registry, extra map[string]SnapshotFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/telemetryz", func(w http.ResponseWriter, _ *http.Request) {
+		body := map[string]any{"metrics": reg.Snapshot()}
+		names := make([]string, 0, len(extra))
+		for name := range extra {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			body[name] = extra[name]()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// ServeDebug listens on addr (e.g. "127.0.0.1:0") and serves mux in the
+// background. It returns the bound address and a closer that stops the
+// listener. Serving errors after close are expected and discarded; the
+// endpoint is best-effort introspection, never load-bearing.
+func ServeDebug(addr string, mux *http.ServeMux) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		_ = srv.Serve(ln) // returns ErrServerClosed (or a late accept error) on shutdown; nothing to do with it
+	}()
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

@@ -1,0 +1,23 @@
+// Package telemetry is the observability layer of the tuning stack: a
+// span tracer that records where a tuning run spends its time (per-stage
+// JSONL traces, aggregated by cmd/tracereport), a registry of named
+// counters/gauges/histograms, and a live-introspection HTTP mux
+// (net/http/pprof plus /telemetryz) for the long-running binaries.
+//
+// Three contracts make the layer safe to leave permanently wired in:
+//
+//   - Disabled means free: a nil *Tracer is a valid tracer whose methods
+//     are no-op nil checks (BenchmarkTracerDisabled), so instrumentation
+//     sites never branch on "is tracing on".
+//   - Time is injected: all timing flows through the Clock interface —
+//     SystemClock in binaries, *FakeClock in tests — and glint's
+//     determinism rule forbids wall-clock reads anywhere else in the
+//     deterministic packages.
+//   - Observation only: telemetry never touches seeded RNG streams or
+//     any algorithmic state; seeded runs are byte-identical with tracing
+//     on and off (proved by the determinism tests in internal/core).
+//
+// The package is stdlib-only and imports nothing from this module except
+// internal/metrics (table rendering), so every layer — including the
+// deterministic search packages — can depend on it without cycles.
+package telemetry

@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// AppendJSONLine marshals v and writes it as one newline-terminated JSON
+// line. It is the append primitive shared by tuning logs, fleet
+// checkpoints (both via tlog.AppendJSONLine, which delegates here), and
+// trace files — one format, one implementation, so every JSONL artifact
+// in the system tolerates the same torn-tail recovery on resume.
+func AppendJSONLine(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe for concurrent use and nil-safe, so
+// uninstrumented code paths can hold a nil *Counter without guards.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric. The zero value is ready to
+// use; all methods are safe for concurrent use and nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper edges; values above the last bound land in an implicit +Inf
+// bucket. The zero value is unusable — build one through Registry or
+// NewHistogram. Methods are safe for concurrent use and nil-safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+
+	mu  sync.Mutex
+	n   int64
+	sum float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.mu.Lock()
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnap is a histogram's frozen state.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1; last is overflow
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+}
+
+func (h *Histogram) snapshot(name string) HistogramSnap {
+	s := HistogramSnap{Name: name, Bounds: h.bounds, Counts: make([]int64, len(h.counts))}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	h.mu.Lock()
+	s.Count, s.Sum = h.n, h.sum
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	return s
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Lookups get-or-create, so instrumented code can fetch by name without
+// registration ceremony. A nil *Registry hands out unregistered (but
+// fully usable) metrics, making instrumentation unconditional.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricSnap is one scalar metric in a snapshot.
+type MetricSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a registry's frozen, name-sorted state — the JSON body of
+// the /telemetryz endpoint.
+type Snapshot struct {
+	Counters   []MetricSnap    `json:"counters,omitempty"`
+	Gauges     []MetricSnap    `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes every registered metric, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, MetricSnap{Name: name, Value: float64(c.Value())})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricSnap{Name: name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Table renders the snapshot as a fixed-width text table.
+func (s Snapshot) Table(title string) string {
+	t := metrics.NewTable(title, "metric", "type", "value")
+	for _, c := range s.Counters {
+		t.AddRow(c.Name, "counter", fmt.Sprintf("%.0f", c.Value))
+	}
+	for _, g := range s.Gauges {
+		t.AddRow(g.Name, "gauge", fmt.Sprintf("%.4g", g.Value))
+	}
+	for _, h := range s.Histograms {
+		t.AddRow(h.Name, "histogram",
+			fmt.Sprintf("n=%d mean=%.4g sum=%.4g", h.Count, h.Mean, h.Sum))
+	}
+	return t.String()
+}

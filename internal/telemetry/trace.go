@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage names emitted by the instrumented tuning loop and fleet layers.
+// cmd/tracereport groups a trace by these; free-form stages are fine too.
+const (
+	StagePriorSample    = "prior_sample"    // §3.1 Blueprint-prior batch draw
+	StageAnneal         = "anneal"          // SA proposal over the surrogate
+	StageEnsembleVote   = "ensemble_vote"   // §3.3 invalid-config filtering
+	StageSurrogateTrain = "surrogate_train" // GP fit on measurements
+	StageSurrogateScore = "surrogate_score" // GP posterior over the pool
+	StageAcquisition    = "acquisition"     // §3.2 neural acquisition scoring
+	StageMeasure        = "measure"         // hardware measurement batch
+	StageCheckpoint     = "checkpoint"      // durable task-plan append
+	StageGBTTrain       = "gbt_train"       // baseline cost-model fit
+	StageTask           = "task"            // one whole tuning task (fleet)
+)
+
+// SpanEvent is one line of a trace file. Kind is "span" for a timed
+// region and "event" for an instant occurrence (retry, breaker flip).
+// Times are microseconds relative to the tracer's first observation, so
+// traces are compact and fake-clock tests are byte-reproducible.
+type SpanEvent struct {
+	Seq     int            `json:"seq"`
+	Kind    string         `json:"kind"`
+	Stage   string         `json:"stage"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer records spans and events as JSONL. A nil *Tracer is the disabled
+// tracer: every method is a no-op costing a nil check (see
+// BenchmarkTracerDisabled), so instrumented code calls it unconditionally.
+// It is safe for concurrent use; write errors are latched, not returned,
+// so tracing can never fail a tuning run (check Err at shutdown).
+type Tracer struct {
+	clock Clock
+
+	mu    sync.Mutex
+	w     io.Writer
+	seq   int
+	start time.Time // trace origin: the instant the tracer was built
+	err   error
+}
+
+// NewTracer emits JSONL trace lines to w, timing spans against clock
+// (SystemClock in binaries, a *FakeClock in tests). A nil clock defaults
+// to SystemClock. Span/event timestamps are relative to this call.
+func NewTracer(w io.Writer, clock Clock) *Tracer {
+	if clock == nil {
+		clock = SystemClock()
+	}
+	return &Tracer{clock: clock, w: w, start: clock.Now()}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Err returns the first write or marshal error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is an in-flight timed region. The zero Span (from a nil tracer) is
+// inert: SetAttr and End on it are no-ops.
+type Span struct {
+	t     *Tracer
+	stage string
+	start time.Time
+	attrs map[string]any
+}
+
+// Start opens a span for stage. Call End (usually deferred) to emit it.
+func (t *Tracer) Start(stage string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: stage, start: t.clock.Now()}
+}
+
+// SetAttr attaches a key/value attribute to the span before End.
+func (s *Span) SetAttr(key string, v any) {
+	if s.t == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = v
+}
+
+// End emits the span with its measured duration.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.clock.Now()
+	s.t.emit("span", s.stage, s.start, end.Sub(s.start), s.attrs)
+}
+
+// Event emits an instant (zero-duration) occurrence, e.g. a retry or a
+// breaker transition.
+func (t *Tracer) Event(stage string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	t.emit("event", stage, now, 0, attrs)
+}
+
+func (t *Tracer) emit(kind, stage string, at time.Time, dur time.Duration, attrs map[string]any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev := SpanEvent{
+		Seq:     t.seq,
+		Kind:    kind,
+		Stage:   stage,
+		StartUS: at.Sub(t.start).Microseconds(),
+		DurUS:   dur.Microseconds(),
+		Attrs:   attrs,
+	}
+	if err := AppendJSONLine(t.w, ev); err != nil && t.err == nil {
+		t.err = err // latch the first failure; tracing must not abort tuning
+	}
+}

@@ -28,7 +28,7 @@ func (w *errWriter) Write(p []byte) (int, error) {
 }
 
 func TestAppendSurfacesWriterError(t *testing.T) {
-	w := NewWriter(&errWriter{})
+	w := NewWriter(&errWriter{}, 0)
 	if err := w.Append(Entry{TaskName: "t"}); err == nil {
 		t.Fatal("Append on a failing writer returned nil error")
 	}
@@ -48,7 +48,7 @@ func TestAppendJSONLineSurfacesMarshalError(t *testing.T) {
 // entry must land intact on its own line with a unique sequence number.
 func TestConcurrentAppend(t *testing.T) {
 	var buf bytes.Buffer
-	w := NewWriter(&syncWriter{w: &buf})
+	w := NewWriter(&syncWriter{w: &buf}, 0)
 	const goroutines, perG = 8, 25
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -144,14 +144,14 @@ func (okMeasurer) MeasureBatch(_ workload.Task, _ *space.Space, idxs []int64) ([
 func (okMeasurer) DeviceName() string { return "ok-gpu" }
 
 func TestRecordingMeasurerPropagatesInnerError(t *testing.T) {
-	rm := &RecordingMeasurer{Inner: failingMeasurer{}, Out: NewWriter(&bytes.Buffer{})}
+	rm := &RecordingMeasurer{Inner: failingMeasurer{}, Out: NewWriter(&bytes.Buffer{}, 0)}
 	if _, err := rm.MeasureBatch(workload.Task{}, nil, []int64{0}); err == nil {
 		t.Fatal("inner measurer error was swallowed")
 	}
 }
 
 func TestRecordingMeasurerPropagatesLogError(t *testing.T) {
-	rm := &RecordingMeasurer{Inner: okMeasurer{}, Out: NewWriter(&errWriter{})}
+	rm := &RecordingMeasurer{Inner: okMeasurer{}, Out: NewWriter(&errWriter{}, 0)}
 	if _, err := rm.MeasureBatch(workload.Task{}, nil, []int64{0}); err == nil {
 		t.Fatal("log write failure was swallowed; a lost measurement must surface")
 	}

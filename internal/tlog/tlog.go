@@ -17,6 +17,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
@@ -43,8 +44,20 @@ type Writer struct {
 	seq int
 }
 
-// NewWriter wraps an io.Writer.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+// NewWriter wraps an io.Writer. lastSeq is the sequence number of the
+// last entry already in the log — 0 for a fresh log — so a writer
+// resumed onto an existing file (checkpoint resume, -log append)
+// continues numbering instead of restarting at 1. Callers resuming a log
+// typically pass entries[len(entries)-1].Seq from Read.
+func NewWriter(w io.Writer, lastSeq int) *Writer { return &Writer{w: w, seq: lastSeq} }
+
+// Seq returns the sequence number of the most recently appended entry
+// (or the lastSeq the writer was created with, before any Append).
+func (w *Writer) Seq() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
 
 // Append writes one entry, assigning its sequence number.
 func (w *Writer) Append(e Entry) error {
@@ -56,15 +69,11 @@ func (w *Writer) Append(e Entry) error {
 }
 
 // AppendJSONLine marshals v and writes it as one newline-terminated JSON
-// line — the append format shared by tuning logs and fleet checkpoints.
+// line — the append format shared by tuning logs, fleet checkpoints, and
+// telemetry traces. The implementation lives in internal/telemetry (the
+// dependency leaf); this delegate keeps the historical entry point.
 func AppendJSONLine(w io.Writer, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	_, err = w.Write(data)
-	return err
+	return telemetry.AppendJSONLine(w, v)
 }
 
 // ReadJSONLines streams newline-delimited JSON from r, calling fn with

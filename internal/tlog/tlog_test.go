@@ -13,9 +13,55 @@ import (
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
+// TestWriterResumesSequence is the checkpoint-resume regression: a writer
+// rebuilt over an existing log must continue its numbering, not restart
+// at 1 (duplicate seqs would corrupt replay ordering and Best lookups).
+func TestWriterResumesSequence(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if w.Seq() != 0 {
+		t.Fatalf("fresh writer Seq() = %d, want 0", w.Seq())
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(Entry{Device: "titan-xp"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Seq() != 3 {
+		t.Fatalf("Seq() = %d after 3 appends", w.Seq())
+	}
+
+	// Simulate a killed session: reopen the same log, resume numbering.
+	entries, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewWriter(&buf, entries[len(entries)-1].Seq)
+	if resumed.Seq() != 3 {
+		t.Fatalf("resumed writer Seq() = %d, want 3", resumed.Seq())
+	}
+	if err := resumed.Append(Entry{Device: "titan-xp"}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := all[len(all)-1].Seq; got != 4 {
+		t.Fatalf("resumed append got seq %d, want 4", got)
+	}
+	seen := map[int]bool{}
+	for _, e := range all {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d after resume", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	w := NewWriter(&buf)
+	w := NewWriter(&buf, 0)
 	entries := []Entry{
 		{Device: "titan-xp", Model: "alexnet", TaskIndex: 1, TaskName: "alexnet.L1.conv2d",
 			ConfigIndex: 42, Valid: true, GFLOPS: 1234.5, TimeMS: 0.2, CostSec: 2.5},
@@ -62,7 +108,7 @@ func TestRecordingMeasurerCapturesTuningRun(t *testing.T) {
 	var buf bytes.Buffer
 	rec := &RecordingMeasurer{
 		Inner: measure.MustNewLocal(hwspec.TitanXp),
-		Out:   NewWriter(&buf),
+		Out:   NewWriter(&buf, 0),
 	}
 	if rec.DeviceName() != hwspec.TitanXp {
 		t.Fatalf("device %q", rec.DeviceName())
