@@ -66,6 +66,16 @@ bench-obs:
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@echo wrote BENCH_obs.json
 
+# Fleet resilience benchmark as a machine-readable artifact: flat fan-out
+# vs the sharded scheduler over 200 simulated endpoints with 10% device
+# flap. Compare the meas/s metric between the two entries; the sharded
+# path must hold >=2x.
+.PHONY: bench-fleet
+bench-fleet:
+	$(GO) test -bench 'BenchmarkFleet' -benchtime 1x -benchmem -run '^$$' ./internal/fleet/... \
+		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
+	@echo wrote BENCH_fleet.json
+
 .PHONY: fmt
 fmt:
 	gofmt -w cmd internal examples

@@ -19,13 +19,16 @@ import (
 	"strings"
 )
 
-// Record is one parsed benchmark result line.
+// Record is one parsed benchmark result line. Metrics holds custom
+// b.ReportMetric units (e.g. "meas/s" from the fleet benchmark) that the
+// standard columns don't cover.
 type Record struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -84,6 +87,16 @@ func parseLine(line string) (Record, bool) {
 			if rec.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return Record{}, false
 			}
+		default:
+			// Custom b.ReportMetric unit: keep it if the value parses.
+			f, perr := strconv.ParseFloat(val, 64)
+			if perr != nil {
+				continue
+			}
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[unit] = f
 		}
 	}
 	return rec, seen

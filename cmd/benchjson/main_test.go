@@ -23,6 +23,19 @@ func TestParseLineMinimal(t *testing.T) {
 	}
 }
 
+func TestParseLineCustomMetric(t *testing.T) {
+	rec, ok := parseLine("BenchmarkFleetSharded   1   149507143 ns/op   30039 meas/s   17617272 B/op   91842 allocs/op")
+	if !ok {
+		t.Fatal("expected parse to succeed")
+	}
+	if rec.Metrics["meas/s"] != 30039 {
+		t.Fatalf("custom metric lost: %+v", rec)
+	}
+	if rec.NsPerOp != 149507143 || rec.BytesPerOp != 17617272 {
+		t.Fatalf("standard columns mangled: %+v", rec)
+	}
+}
+
 func TestParseLineRejectsNonBench(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

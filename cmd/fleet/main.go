@@ -7,12 +7,24 @@
 //	fleet -model resnet-18 -gpus titan-xp,rtx-3090 -tuner glimpse \
 //	      -budget 128 -out plans/ [-kernels] [-artifacts dir] \
 //	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s] [-workers N] \
+//	      [-endpoints 200] [-shards 4] [-steal] [-speculate] \
+//	      [-chaos flap] [-chaos-seed 1] [-chaos-frac 0.1] \
 //	      [-trace path] [-debug-addr 127.0.0.1:6060]
 //
 // -trace writes a JSONL span trace (per-task tuning spans, checkpoint
 // writes, measurement degradation events); aggregate with cmd/tracereport.
 // -debug-addr serves net/http/pprof plus /telemetryz for live introspection
 // of a long fleet run.
+//
+// With -endpoints N > 0 the run goes through the sharded fleet scheduler
+// over N simulated measurement endpoints: targets are grouped into
+// -shards Blueprint-affinity shards, -steal lets idle shards take queued
+// tasks and borrow endpoints, and -speculate re-issues straggling
+// measurement chunks. -chaos injects a deterministic churn schedule (see
+// internal/faults) into a -chaos-frac fraction of the endpoints — the
+// best-found plans are identical to a fault-free run by construction.
+// With -endpoints 0 (default) the original one-device-per-GPU flat path
+// runs.
 //
 // With -tuner glimpse, offline artifacts are trained per target (cached
 // under -artifacts if given). Other tuners: autotvm, chameleon, random.
@@ -35,6 +47,7 @@ import (
 	"time"
 
 	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/faults"
 	"github.com/neuralcompile/glimpse/internal/fleet"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
@@ -59,6 +72,13 @@ func main() {
 	retries := flag.Int("retries", 3, "measurement attempts per batch before giving up")
 	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "deadline per measurement batch")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
+	endpoints := flag.Int("endpoints", 0, "simulated measurement endpoints for the sharded scheduler (0: legacy flat path)")
+	shards := flag.Int("shards", 0, "device-group shards by Blueprint affinity (0: one shard per target GPU)")
+	steal := flag.Bool("steal", true, "steal queued tasks and borrow endpoints across shards")
+	speculate := flag.Bool("speculate", true, "re-issue straggling measurement chunks speculatively")
+	chaos := flag.String("chaos", "none", "endpoint churn schedule: none | flap | spike | slow-degrade | crash | churn")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed fixing the chaos schedule")
+	chaosFrac := flag.Float64("chaos-frac", 0.1, "fraction of endpoints the chaos schedule churns")
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the fleet run to this file")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and /telemetryz on this address (empty: disabled)")
 	flag.Parse()
@@ -188,7 +208,62 @@ func main() {
 		cfg.Checkpoint = ck
 	}
 
-	plans, err := fleet.TuneFleet(cfg, targets, g.Split("fleet"))
+	var plans []*fleet.Plan
+	var err error
+	if *endpoints > 0 {
+		scenario, serr := faults.ScenarioByName(*chaos, *chaosSeed, *endpoints, *chaosFrac, 0)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", serr)
+			os.Exit(1)
+		}
+		eps := make([]fleet.Endpoint, *endpoints)
+		for i := range eps {
+			i := i
+			eps[i] = fleet.Endpoint{
+				Name: fmt.Sprintf("sim-%03d", i),
+				Dial: func(gpu string) (measure.Measurer, error) {
+					local, err := measure.NewLocal(gpu)
+					if err != nil {
+						return nil, err
+					}
+					return scenario.Wrap(i, local), nil
+				},
+			}
+		}
+		sched, serr := fleet.NewScheduler(fleet.SchedulerConfig{
+			Shards:    *shards,
+			Steal:     *steal,
+			Speculate: *speculate,
+			Reliable: measure.ReliableConfig{
+				MaxAttempts:  *retries,
+				BatchTimeout: *batchTimeout,
+				Seed:         *seed,
+				EventSink: func(e measure.Event) {
+					tracer.Event(telemetry.StageMeasure, map[string]any{
+						"event": e.Kind, "backend": e.Backend, "task": e.Task, "detail": e.Detail,
+					})
+				},
+			},
+		}, eps)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", serr)
+			os.Exit(1)
+		}
+		if *chaos != "none" {
+			fmt.Fprintf(os.Stderr, "fleet: chaos %q (seed %d, frac %.2f) on %d endpoints\n",
+				*chaos, *chaosSeed, *chaosFrac, *endpoints)
+		}
+		plans, err = sched.Run(cfg, targets, g.Split("fleet"))
+		if err == nil {
+			st := sched.Stats()
+			fmt.Fprintf(os.Stderr,
+				"fleet: scheduler: %d tasks (%d stolen), %d chunks (%d retried), %d endpoint steals, %d speculations (%d won)\n",
+				st.TasksDone, st.TasksStolen, st.Chunks, st.ChunkRetries,
+				st.EndpointSteals, st.Speculations, st.SpeculativeWins)
+		}
+	} else {
+		plans, err = fleet.TuneFleet(cfg, targets, g.Split("fleet"))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleet:", err)
 		os.Exit(1)

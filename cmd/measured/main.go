@@ -10,7 +10,13 @@
 // Usage:
 //
 //	measured [-addr 127.0.0.1:4817] [-gpus titan-xp,rtx-3090,...] [-drain 10s]
+//	         [-chaos flap] [-chaos-seed 1] [-chaos-frac 0.1] [-chaos-service 500us]
 //	         [-debug-addr 127.0.0.1:6060]
+//
+// -chaos layers a deterministic churn schedule (see internal/faults) onto a
+// fraction of the hosted devices: flap, spike, slow-degrade, crash, or the
+// churn composite. The schedule is fixed by -chaos-seed, so a fleet chaos
+// drill is reproducible across daemon restarts.
 //
 // -debug-addr serves net/http/pprof plus /telemetryz (JSON snapshot of the
 // serving counters) for live introspection of a long measurement campaign.
@@ -25,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/neuralcompile/glimpse/internal/faults"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/parallel"
@@ -35,6 +42,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4817", "listen address")
 	gpus := flag.String("gpus", strings.Join(hwspec.Targets, ","), "comma-separated GPUs to host")
 	drain := flag.Duration("drain", 10*time.Second, "max wait for in-flight batches on shutdown")
+	chaos := flag.String("chaos", "none", "churn schedule for hosted devices: none | flap | spike | slow-degrade | crash | churn")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed fixing the chaos schedule")
+	chaosFrac := flag.Float64("chaos-frac", 0.1, "fraction of hosted devices the chaos schedule churns")
+	chaosService := flag.Duration("chaos-service", 0, "simulated service time per measurement (applies to every device when chaos is on)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and /telemetryz on this address (empty: disabled)")
 	flag.Parse()
 
@@ -42,7 +53,14 @@ func main() {
 	for _, n := range strings.Split(*gpus, ",") {
 		names = append(names, strings.TrimSpace(n))
 	}
-	srv, err := measure.NewServer(names)
+	scenario, err := faults.ScenarioByName(*chaos, *chaosSeed, len(names), *chaosFrac, *chaosService)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measured:", err)
+		os.Exit(1)
+	}
+	srv, err := measure.NewServerWrapped(names, func(i int, gpu string, m measure.Measurer) measure.Measurer {
+		return scenario.Wrap(i, m)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "measured:", err)
 		os.Exit(1)
@@ -53,6 +71,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("measured: serving %v on %s (health: Measure.Ping)\n", names, bound)
+	if *chaos != "none" {
+		fmt.Printf("measured: chaos %q (seed %d, frac %.2f) active on hosted devices\n",
+			*chaos, *chaosSeed, *chaosFrac)
+	}
 
 	if *debugAddr != "" {
 		mux := telemetry.NewDebugMux(nil, map[string]telemetry.SnapshotFunc{

@@ -1,0 +1,347 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// ErrDown is the (wrapped) error a churned endpoint returns while its
+// schedule has it offline. It is transient-class: the device comes back
+// when the down phase ends, so retries and failover are the right cure.
+var ErrDown = errors.New("faults: device offline (churn)")
+
+// Phase is one segment of a churn schedule. A phase ends after Calls
+// calls or after For wall-clock time, whichever is configured (setting
+// both ends it on whichever trips first); a phase with neither is
+// terminal and lasts forever. Phases cycle unless the last one is
+// terminal.
+type Phase struct {
+	Calls int           // phase length in batch calls (0: not call-bounded)
+	For   time.Duration // phase length in wall time (0: not time-bounded)
+	// Down fails every call in the phase with ErrDown.
+	Down bool
+	// Delay adds per-call latency (a latency spike when large).
+	Delay time.Duration
+	// Growth adds Growth × (calls already served in this phase) of extra
+	// latency per call — the slow-degrade pattern of a board heading
+	// toward failure.
+	Growth time.Duration
+}
+
+func (p Phase) terminal() bool { return p.Calls <= 0 && p.For <= 0 }
+
+// ChurnConfig is the schedule for one endpoint. The zero value is a
+// permanently healthy endpoint with instant service.
+type ChurnConfig struct {
+	// PerMeasurement is the simulated service time per configuration
+	// measured — what makes fleet throughput a meaningful quantity.
+	PerMeasurement time.Duration
+	// Phases cycle for the life of the endpoint (empty: always up).
+	Phases []Phase
+}
+
+// ChurnStats counts what a churned endpoint actually did.
+type ChurnStats struct {
+	Calls   int // batch calls received
+	Downs   int // calls failed by a down phase
+	Delayed int // calls that served extra injected latency
+}
+
+// Churn wraps a Measurer with a deterministic availability/latency
+// schedule. Unlike Injector (per-call probabilistic faults keyed by task),
+// Churn models the life of one endpoint: phases of downtime, latency
+// spikes, and slow degradation advance with the endpoint's global call
+// sequence and wall clock, which is what fleet-level rerouting reacts to.
+// It implements measure.ContextMeasurer; injected delays respect context
+// cancellation.
+type Churn struct {
+	inner measure.Measurer
+	cfg   ChurnConfig
+
+	mu         sync.Mutex
+	phase      int       // index into cfg.Phases
+	phaseCalls int       // calls served in the current phase
+	phaseStart time.Time // set on first call of a time-bounded phase
+	stats      ChurnStats
+}
+
+// NewChurn wraps inner with the given schedule.
+func NewChurn(inner measure.Measurer, cfg ChurnConfig) *Churn {
+	return &Churn{inner: inner, cfg: cfg}
+}
+
+// DeviceName identifies the wrapped device.
+func (c *Churn) DeviceName() string { return c.inner.DeviceName() }
+
+// Stats returns a snapshot of the churn counters.
+func (c *Churn) Stats() ChurnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// MeasureBatch applies the schedule around the wrapped measurer.
+func (c *Churn) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	return c.MeasureBatchContext(context.Background(), task, sp, idxs)
+}
+
+// step advances the schedule by one call and returns the phase governing
+// it plus how many calls that phase had already served.
+func (c *Churn) step() (Phase, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Calls++
+	if len(c.cfg.Phases) == 0 {
+		return Phase{}, 0
+	}
+	now := time.Now()
+	for {
+		p := c.cfg.Phases[c.phase]
+		if p.terminal() {
+			break
+		}
+		if p.For > 0 && c.phaseStart.IsZero() {
+			c.phaseStart = now
+		}
+		expired := (p.Calls > 0 && c.phaseCalls >= p.Calls) ||
+			(p.For > 0 && now.Sub(c.phaseStart) >= p.For)
+		if !expired {
+			break
+		}
+		c.phase = (c.phase + 1) % len(c.cfg.Phases)
+		c.phaseCalls = 0
+		c.phaseStart = time.Time{}
+	}
+	p := c.cfg.Phases[c.phase]
+	served := c.phaseCalls
+	c.phaseCalls++
+	return p, served
+}
+
+// MeasureBatchContext applies the schedule, honoring ctx during injected
+// latency.
+func (c *Churn) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	p, served := c.step()
+	if p.Down {
+		c.mu.Lock()
+		c.stats.Downs++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDown, c.inner.DeviceName())
+	}
+	delay := c.cfg.PerMeasurement*time.Duration(len(idxs)) +
+		p.Delay + p.Growth*time.Duration(served)
+	if delay > 0 {
+		if p.Delay > 0 || p.Growth > 0 {
+			c.mu.Lock()
+			c.stats.Delayed++
+			c.mu.Unlock()
+		}
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("faults: churn delay on %s cut off: %w", c.inner.DeviceName(), ctx.Err())
+		case <-t.C:
+		}
+	}
+	if cm, ok := c.inner.(measure.ContextMeasurer); ok {
+		return cm.MeasureBatchContext(ctx, task, sp, idxs)
+	}
+	return c.inner.MeasureBatch(task, sp, idxs)
+}
+
+// Scenario is one named churn schedule for a whole fleet of endpoints:
+// Configs[i] governs endpoint i. Constructors draw every schedule from the
+// seed, so a scenario is reproducible even though wall-clock phase
+// boundaries are not — determinism of tuning *results* under churn is the
+// fleet scheduler's contract, pinned by its tests.
+type Scenario struct {
+	Name    string
+	Configs []ChurnConfig
+}
+
+// Size returns the number of endpoints the scenario covers.
+func (s Scenario) Size() int { return len(s.Configs) }
+
+// Wrap churn-wraps endpoint i's measurer. Out-of-range indices (a fleet
+// larger than the scenario) and zero-value configs pass m through
+// untouched, so healthy endpoints pay nothing.
+func (s Scenario) Wrap(i int, m measure.Measurer) measure.Measurer {
+	if i < 0 || i >= len(s.Configs) {
+		return m
+	}
+	cfg := s.Configs[i]
+	if cfg.PerMeasurement <= 0 && len(cfg.Phases) == 0 {
+		return m
+	}
+	return NewChurn(m, cfg)
+}
+
+// churned reports whether endpoint i already has a non-trivial schedule.
+func (s Scenario) churned(i int) bool {
+	return len(s.Configs[i].Phases) > 0
+}
+
+// pick selects frac×n distinct endpoints from the seeded stream (at least
+// one whenever frac > 0).
+func pick(g *rng.RNG, n int, frac float64) []int {
+	want := int(frac*float64(n) + 0.5)
+	if frac > 0 && want == 0 {
+		want = 1
+	}
+	if want > n {
+		want = n
+	}
+	return g.Perm(n)[:want]
+}
+
+// Healthy is the no-fault scenario: every endpoint up, serving each
+// measurement in the given service time.
+func Healthy(n int, service time.Duration) Scenario {
+	s := Scenario{Name: "none", Configs: make([]ChurnConfig, n)}
+	for i := range s.Configs {
+		s.Configs[i].PerMeasurement = service
+	}
+	return s
+}
+
+// Flap makes frac of n endpoints cycle between up and down phases whose
+// lengths are drawn around meanUp/meanDown (±50%, seeded per endpoint).
+func Flap(seed int64, n int, frac float64, service, meanUp, meanDown time.Duration) Scenario {
+	s := Healthy(n, service)
+	s.Name = "flap"
+	g := rng.New(seed).Split("chaos/flap")
+	for _, i := range pick(g.Split("pick"), n, frac) {
+		eg := g.Split(fmt.Sprintf("ep/%d", i))
+		jitter := func(mean time.Duration) time.Duration {
+			return time.Duration(float64(mean) * (0.5 + eg.Float64()))
+		}
+		s.Configs[i].Phases = []Phase{
+			{For: jitter(meanUp)},
+			{For: jitter(meanDown), Down: true},
+		}
+	}
+	return s
+}
+
+// Spike gives frac of n endpoints periodic latency spikes: bursts of
+// spikeLen calls each delayed by spike, between quiet stretches of
+// 6–14 calls (seeded per endpoint).
+func Spike(seed int64, n int, frac float64, service, spike time.Duration, spikeLen int) Scenario {
+	s := Healthy(n, service)
+	s.Name = "spike"
+	if spikeLen <= 0 {
+		spikeLen = 3
+	}
+	g := rng.New(seed).Split("chaos/spike")
+	for _, i := range pick(g.Split("pick"), n, frac) {
+		eg := g.Split(fmt.Sprintf("ep/%d", i))
+		s.Configs[i].Phases = []Phase{
+			{Calls: 6 + eg.Intn(9)},
+			{Calls: spikeLen, Delay: spike},
+		}
+	}
+	return s
+}
+
+// SlowDegrade makes frac of n endpoints serve a healthy warmup of 4–12
+// calls and then degrade without recovery: every further call is `step`
+// slower than the one before — the straggler pattern speculation exists
+// for.
+func SlowDegrade(seed int64, n int, frac float64, service, step time.Duration) Scenario {
+	s := Healthy(n, service)
+	s.Name = "slow-degrade"
+	g := rng.New(seed).Split("chaos/slow-degrade")
+	for _, i := range pick(g.Split("pick"), n, frac) {
+		eg := g.Split(fmt.Sprintf("ep/%d", i))
+		s.Configs[i].Phases = []Phase{
+			{Calls: 4 + eg.Intn(9)},
+			{Growth: step}, // terminal: degrades forever
+		}
+	}
+	return s
+}
+
+// Crash kills frac of n endpoints permanently after a seeded warmup of
+// 1–afterCalls calls: every later call fails with ErrDown, forever.
+func Crash(seed int64, n int, frac float64, service time.Duration, afterCalls int) Scenario {
+	s := Healthy(n, service)
+	s.Name = "crash"
+	if afterCalls < 1 {
+		afterCalls = 1
+	}
+	g := rng.New(seed).Split("chaos/crash")
+	for _, i := range pick(g.Split("pick"), n, frac) {
+		eg := g.Split(fmt.Sprintf("ep/%d", i))
+		s.Configs[i].Phases = []Phase{
+			{Calls: 1 + eg.Intn(afterCalls)},
+			{Down: true}, // terminal: never comes back
+		}
+	}
+	return s
+}
+
+// Compose layers scenarios over the same fleet: for each endpoint the
+// first scenario with a non-trivial schedule wins, so scenarios built
+// with disjoint seeds compose into mixed churn (e.g. some endpoints
+// flapping while others degrade). All scenarios must cover the same
+// number of endpoints.
+func Compose(name string, scenarios ...Scenario) (Scenario, error) {
+	if len(scenarios) == 0 {
+		return Scenario{}, fmt.Errorf("faults: Compose needs at least one scenario")
+	}
+	n := scenarios[0].Size()
+	out := Scenario{Name: name, Configs: make([]ChurnConfig, n)}
+	for _, sc := range scenarios {
+		if sc.Size() != n {
+			return Scenario{}, fmt.Errorf("faults: Compose size mismatch: %s has %d endpoints, want %d",
+				sc.Name, sc.Size(), n)
+		}
+		for i, cfg := range sc.Configs {
+			if out.Configs[i].PerMeasurement == 0 {
+				out.Configs[i].PerMeasurement = cfg.PerMeasurement
+			}
+			if !out.churned(i) && len(cfg.Phases) > 0 {
+				out.Configs[i].Phases = cfg.Phases
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScenarioByName builds a named scenario with representative defaults —
+// the -chaos flag of cmd/fleet and cmd/measured. Known names: none, flap,
+// spike, slow-degrade, crash, churn (flap+spike+slow-degrade composed).
+func ScenarioByName(name string, seed int64, n int, frac float64, service time.Duration) (Scenario, error) {
+	if frac <= 0 {
+		frac = 0.1
+	}
+	switch name {
+	case "", "none":
+		return Healthy(n, service), nil
+	case "flap":
+		return Flap(seed, n, frac, service, 150*time.Millisecond, 250*time.Millisecond), nil
+	case "spike":
+		return Spike(seed, n, frac, service, 25*time.Millisecond, 3), nil
+	case "slow-degrade":
+		return SlowDegrade(seed, n, frac, service, 2*time.Millisecond), nil
+	case "crash":
+		return Crash(seed, n, frac, service, 8), nil
+	case "churn":
+		return Compose("churn",
+			Flap(seed, n, frac/2, service, 150*time.Millisecond, 250*time.Millisecond),
+			Spike(seed+1, n, frac/2, service, 25*time.Millisecond, 3),
+			SlowDegrade(seed+2, n, frac/2, service, 2*time.Millisecond))
+	default:
+		return Scenario{}, fmt.Errorf("faults: unknown chaos scenario %q (have none, flap, spike, slow-degrade, crash, churn)", name)
+	}
+}

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+)
+
+func TestChurnCallPhasesCycle(t *testing.T) {
+	task, sp, idxs := setup(t)
+	c := NewChurn(measure.MustNewLocal(hwspec.TitanXp), ChurnConfig{
+		Phases: []Phase{{Calls: 2}, {Calls: 3, Down: true}},
+	})
+	want := []bool{false, false, true, true, true, false, false, true, true, true}
+	for i, down := range want {
+		_, err := c.MeasureBatch(task, sp, idxs)
+		if down && !errors.Is(err, ErrDown) {
+			t.Fatalf("call %d: expected ErrDown, got %v", i, err)
+		}
+		if !down && err != nil {
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Calls != 10 || st.Downs != 6 {
+		t.Fatalf("stats %+v, want 10 calls / 6 downs", st)
+	}
+}
+
+func TestChurnTerminalPhaseIsForever(t *testing.T) {
+	task, sp, idxs := setup(t)
+	c := NewChurn(measure.MustNewLocal(hwspec.TitanXp), ChurnConfig{
+		Phases: []Phase{{Calls: 2}, {Down: true}}, // crash after 2 calls
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.MeasureBatch(task, sp, idxs); err != nil {
+			t.Fatalf("warmup call %d failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.MeasureBatch(task, sp, idxs); !errors.Is(err, ErrDown) {
+			t.Fatalf("post-crash call %d: %v", i, err)
+		}
+	}
+}
+
+func TestChurnDelayHonorsContext(t *testing.T) {
+	task, sp, idxs := setup(t)
+	c := NewChurn(measure.MustNewLocal(hwspec.TitanXp), ChurnConfig{
+		Phases: []Phase{{Delay: 30 * time.Second}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.MeasureBatchContext(ctx, task, sp, idxs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("injected delay ignored the deadline for %v", e)
+	}
+}
+
+func TestChurnSlowDegradeGrows(t *testing.T) {
+	task, sp, idxs := setup(t)
+	c := NewChurn(measure.MustNewLocal(hwspec.TitanXp), ChurnConfig{
+		Phases: []Phase{{Calls: 1}, {Growth: time.Millisecond}},
+	})
+	if _, err := c.MeasureBatch(task, sp, idxs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.MeasureBatch(task, sp, idxs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Delayed != 3 { // degrade calls after the first (0×Growth) one
+		t.Fatalf("Delayed = %d, want 3", st.Delayed)
+	}
+}
+
+func TestScenariosDeterministicAndSized(t *testing.T) {
+	a := Flap(7, 20, 0.25, time.Millisecond, time.Second, time.Second)
+	b := Flap(7, 20, 0.25, time.Millisecond, time.Second, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identically-seeded Flap scenarios differ")
+	}
+	churned := 0
+	for i := range a.Configs {
+		if a.churned(i) {
+			churned++
+		}
+	}
+	if churned != 5 {
+		t.Fatalf("flap 0.25 over 20 endpoints churned %d, want 5", churned)
+	}
+	if c := Flap(8, 20, 0.25, time.Millisecond, time.Second, time.Second); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// frac > 0 always affects at least one endpoint.
+	if s := Crash(1, 3, 0.01, 0, 4); func() int {
+		n := 0
+		for i := range s.Configs {
+			if s.churned(i) {
+				n++
+			}
+		}
+		return n
+	}() != 1 {
+		t.Fatal("tiny frac churned nothing")
+	}
+}
+
+func TestComposeLayersDisjointly(t *testing.T) {
+	flap := Flap(1, 10, 0.3, time.Millisecond, time.Second, time.Second)
+	crash := Crash(2, 10, 0.3, time.Millisecond, 4)
+	mixed, err := Compose("mixed", flap, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Name != "mixed" || mixed.Size() != 10 {
+		t.Fatalf("composed scenario %q size %d", mixed.Name, mixed.Size())
+	}
+	for i := range mixed.Configs {
+		if flap.churned(i) && !reflect.DeepEqual(mixed.Configs[i].Phases, flap.Configs[i].Phases) {
+			t.Fatalf("endpoint %d: first scenario's schedule not preserved", i)
+		}
+		if mixed.Configs[i].PerMeasurement != time.Millisecond {
+			t.Fatalf("endpoint %d lost its service time", i)
+		}
+	}
+	composedChurn := 0
+	for i := range mixed.Configs {
+		if mixed.churned(i) {
+			composedChurn++
+		}
+	}
+	if composedChurn < 3 {
+		t.Fatalf("composition churned only %d endpoints", composedChurn)
+	}
+	if _, err := Compose("bad", flap, Healthy(4, 0)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Compose("empty"); err == nil {
+		t.Fatal("empty composition accepted")
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range []string{"none", "flap", "spike", "slow-degrade", "crash", "churn"} {
+		sc, err := ScenarioByName(name, 3, 12, 0.25, time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Size() != 12 {
+			t.Fatalf("%s: size %d", name, sc.Size())
+		}
+	}
+	if _, err := ScenarioByName("meteor", 3, 12, 0.25, 0); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScenarioWrapPassesHealthyThrough(t *testing.T) {
+	local := measure.MustNewLocal(hwspec.TitanXp)
+	sc := Scenario{Name: "none", Configs: make([]ChurnConfig, 2)}
+	if m := sc.Wrap(0, local); m != measure.Measurer(local) {
+		t.Fatal("zero-config endpoint was wrapped")
+	}
+	if m := sc.Wrap(5, local); m != measure.Measurer(local) {
+		t.Fatal("out-of-range endpoint was wrapped")
+	}
+	sc.Configs[1].Phases = []Phase{{Down: true}}
+	if _, ok := sc.Wrap(1, local).(*Churn); !ok {
+		t.Fatal("churned endpoint not wrapped")
+	}
+}

@@ -121,6 +121,112 @@ func (c *Config) resolve() error {
 	return nil
 }
 
+// runTask tunes one task on one device-labelled measurer: checkpoint
+// lookup, tuning session, optional kernel generation, checkpoint append.
+// Per-task failures (device crash, exhausted retries, no valid
+// configuration, codegen errors) come back as a TaskPlan with Failed set;
+// the returned error is fatal only (checkpoint I/O). Randomness is split
+// from g by task name, so results do not depend on which goroutine, shard,
+// or endpoint runs the task.
+func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (TaskPlan, error) {
+	tsp := cfg.Tracer.Start(telemetry.StageTask)
+	tsp.SetAttr("task", task.Name())
+	tsp.SetAttr("gpu", m.DeviceName())
+	defer tsp.End()
+
+	failed := func(err error) TaskPlan {
+		tsp.SetAttr("outcome", "failed")
+		cfg.Tracer.Event(telemetry.StageTask, map[string]any{
+			"event": "task_failed", "task": task.Name(), "gpu": m.DeviceName(), "error": err.Error(),
+		})
+		return TaskPlan{
+			TaskName:    task.Name(),
+			TaskIndex:   task.Index,
+			Kind:        task.Kind.String(),
+			ConfigIndex: -1,
+			Repeats:     task.Repeats,
+			Failed:      true,
+			Error:       err.Error(),
+		}
+	}
+
+	if cfg.Checkpoint != nil {
+		if tp, ok := cfg.Checkpoint.Lookup(cfg.Model, m.DeviceName(), task.Name()); ok {
+			tp.FromCheckpoint = true
+			tsp.SetAttr("outcome", "resumed")
+			return tp, nil
+		}
+	}
+	sp, err := space.ForTask(task)
+	if err != nil {
+		return failed(err), nil
+	}
+	tn, err := cfg.NewTuner(task, m.DeviceName())
+	if err != nil {
+		return failed(err), nil
+	}
+	res, err := tn.Tune(task, sp, m, cfg.Budget, g.Split("fleet/"+task.Name()))
+	if err != nil {
+		return failed(fmt.Errorf("fleet: %s: %w", task.Name(), err)), nil
+	}
+	if res.BestIndex < 0 {
+		return failed(fmt.Errorf("fleet: %s: no valid configuration found", task.Name())), nil
+	}
+	tp := TaskPlan{
+		TaskName:     task.Name(),
+		TaskIndex:    task.Index,
+		Kind:         task.Kind.String(),
+		ConfigIndex:  res.BestIndex,
+		Schedule:     sp.Describe(sp.FromIndex(res.BestIndex)),
+		GFLOPS:       res.BestGFLOPS,
+		TimeMS:       res.BestTimeMS,
+		Repeats:      task.Repeats,
+		GPUSeconds:   res.GPUSeconds,
+		Measurements: res.Measurements,
+		Invalid:      res.Invalid,
+	}
+	if cfg.GenerateKernels {
+		kern, err := codegen.Lower(task, sp, sp.FromIndex(res.BestIndex))
+		if err != nil {
+			return failed(err), nil
+		}
+		tp.Kernel = kern.Render()
+	}
+	if cfg.Checkpoint != nil {
+		csp := cfg.Tracer.Start(telemetry.StageCheckpoint)
+		csp.SetAttr("task", task.Name())
+		err := cfg.Checkpoint.Append(cfg.Model, m.DeviceName(), tp)
+		csp.End()
+		if err != nil {
+			return tp, fmt.Errorf("fleet: checkpoint %s: %w", task.Name(), err)
+		}
+	}
+	tsp.SetAttr("outcome", "ok")
+	tsp.SetAttr("measurements", res.Measurements)
+	return tp, nil
+}
+
+// assemblePlan rolls completed task plans (in task order) into the
+// deployment plan for one (model, gpu).
+func assemblePlan(model, gpu string, tasks []workload.Task, tps []TaskPlan) *Plan {
+	plan := &Plan{Model: model, GPU: gpu}
+	for _, tp := range tps {
+		plan.Tasks = append(plan.Tasks, tp)
+		if tp.Failed {
+			plan.FailedTasks++
+			continue
+		}
+		if tp.FromCheckpoint {
+			plan.ResumedTasks++
+		}
+		plan.GPUSeconds += tp.GPUSeconds
+		plan.Measurements += tp.Measurements
+		plan.Invalid += tp.Invalid
+	}
+	plan.LatencyMS = assembleLatency(tasks, plan.Tasks)
+	return plan
+}
+
 // TuneModel tunes every configured task of the model on one device and
 // assembles the deployment plan. Per-task randomness is derived from the
 // task name, so results do not depend on goroutine scheduling.
@@ -135,8 +241,6 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 	if err := cfg.resolve(); err != nil {
 		return nil, err
 	}
-	plan := &Plan{Model: cfg.Model, GPU: m.DeviceName()}
-
 	type outcome struct {
 		tp  TaskPlan
 		err error // fatal (checkpoint I/O), not a task failure
@@ -150,111 +254,20 @@ func TuneModel(cfg Config, m measure.Measurer, g *rng.RNG) (*Plan, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-
-			tsp := cfg.Tracer.Start(telemetry.StageTask)
-			tsp.SetAttr("task", task.Name())
-			tsp.SetAttr("gpu", m.DeviceName())
-			defer tsp.End()
-
-			failed := func(err error) {
-				tsp.SetAttr("outcome", "failed")
-				cfg.Tracer.Event(telemetry.StageTask, map[string]any{
-					"event": "task_failed", "task": task.Name(), "gpu": m.DeviceName(), "error": err.Error(),
-				})
-				results[i] = outcome{tp: TaskPlan{
-					TaskName:    task.Name(),
-					TaskIndex:   task.Index,
-					Kind:        task.Kind.String(),
-					ConfigIndex: -1,
-					Repeats:     task.Repeats,
-					Failed:      true,
-					Error:       err.Error(),
-				}}
-			}
-
-			if cfg.Checkpoint != nil {
-				if tp, ok := cfg.Checkpoint.Lookup(cfg.Model, m.DeviceName(), task.Name()); ok {
-					tp.FromCheckpoint = true
-					tsp.SetAttr("outcome", "resumed")
-					results[i] = outcome{tp: tp}
-					return
-				}
-			}
-			sp, err := space.ForTask(task)
-			if err != nil {
-				failed(err)
-				return
-			}
-			tn, err := cfg.NewTuner(task, m.DeviceName())
-			if err != nil {
-				failed(err)
-				return
-			}
-			res, err := tn.Tune(task, sp, m, cfg.Budget, g.Split("fleet/"+task.Name()))
-			if err != nil {
-				failed(fmt.Errorf("fleet: %s: %w", task.Name(), err))
-				return
-			}
-			if res.BestIndex < 0 {
-				failed(fmt.Errorf("fleet: %s: no valid configuration found", task.Name()))
-				return
-			}
-			tp := TaskPlan{
-				TaskName:     task.Name(),
-				TaskIndex:    task.Index,
-				Kind:         task.Kind.String(),
-				ConfigIndex:  res.BestIndex,
-				Schedule:     sp.Describe(sp.FromIndex(res.BestIndex)),
-				GFLOPS:       res.BestGFLOPS,
-				TimeMS:       res.BestTimeMS,
-				Repeats:      task.Repeats,
-				GPUSeconds:   res.GPUSeconds,
-				Measurements: res.Measurements,
-				Invalid:      res.Invalid,
-			}
-			if cfg.GenerateKernels {
-				kern, err := codegen.Lower(task, sp, sp.FromIndex(res.BestIndex))
-				if err != nil {
-					failed(err)
-					return
-				}
-				tp.Kernel = kern.Render()
-			}
-			if cfg.Checkpoint != nil {
-				csp := cfg.Tracer.Start(telemetry.StageCheckpoint)
-				csp.SetAttr("task", task.Name())
-				err := cfg.Checkpoint.Append(cfg.Model, m.DeviceName(), tp)
-				csp.End()
-				if err != nil {
-					results[i] = outcome{tp: tp, err: fmt.Errorf("fleet: checkpoint %s: %w", task.Name(), err)}
-					return
-				}
-			}
-			tsp.SetAttr("outcome", "ok")
-			tsp.SetAttr("measurements", res.Measurements)
-			results[i] = outcome{tp: tp}
+			tp, err := runTask(&cfg, m, task, g)
+			results[i] = outcome{tp: tp, err: err}
 		}(i, task)
 	}
 	wg.Wait()
 
+	tps := make([]TaskPlan, 0, len(results))
 	for _, o := range results {
 		if o.err != nil {
 			return nil, o.err
 		}
-		plan.Tasks = append(plan.Tasks, o.tp)
-		if o.tp.Failed {
-			plan.FailedTasks++
-			continue
-		}
-		if o.tp.FromCheckpoint {
-			plan.ResumedTasks++
-		}
-		plan.GPUSeconds += o.tp.GPUSeconds
-		plan.Measurements += o.tp.Measurements
-		plan.Invalid += o.tp.Invalid
+		tps = append(tps, o.tp)
 	}
-	plan.LatencyMS = assembleLatency(cfg.Tasks, plan.Tasks)
-	return plan, nil
+	return assemblePlan(cfg.Model, m.DeviceName(), cfg.Tasks, tps), nil
 }
 
 // assembleLatency sums per-layer kernel times, picking the faster of the

@@ -1,0 +1,196 @@
+package measure_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// slowEndpoint is a ContextMeasurer that simulates a hung remote board: it
+// blocks until its context is canceled (or a hard cap expires) and then
+// reports the cancellation. started is closed on the first call so tests
+// can cancel exactly while an attempt is in flight.
+type slowEndpoint struct {
+	name    string
+	started chan struct{}
+	once    sync.Once
+	mu      sync.Mutex
+	calls   int
+}
+
+func (s *slowEndpoint) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	return s.MeasureBatchContext(context.Background(), task, sp, idxs)
+}
+
+func (s *slowEndpoint) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.started) })
+	cap := time.NewTimer(5 * time.Second) // hard cap so a broken test fails, not hangs
+	defer cap.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-cap.C:
+		return nil, errors.New("slowEndpoint: cap expired without cancellation")
+	}
+}
+
+func (s *slowEndpoint) DeviceName() string { return s.name }
+
+func (s *slowEndpoint) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// A canceled parent context must abort the in-flight attempt, skip the
+// remaining retries AND the rest of the failover chain, and must not
+// penalize the backend's breaker — the backend did nothing wrong.
+func TestReliableCancelAbortsRetriesAndFailover(t *testing.T) {
+	task, sp, idxs := testTask(t)
+	slow := &slowEndpoint{name: "board", started: make(chan struct{})}
+	fallback := &scripted{name: "twin", errs: []error{nil}}
+	r, err := measure.NewReliable(measure.ReliableConfig{MaxAttempts: 3, Seed: 1}, slow, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { // cancel exactly while the first attempt is blocked in flight
+		<-slow.started
+		cancel()
+	}()
+	start := time.Now()
+	_, err = r.MeasureBatchContext(ctx, task, sp, idxs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("cancellation took %v to propagate", e)
+	}
+	if n := slow.callCount(); n != 1 {
+		t.Fatalf("slow backend attempted %d times after cancellation, want 1", n)
+	}
+	if n := fallback.callCount(); n != 0 {
+		t.Fatalf("failover backend called %d times under a canceled parent", n)
+	}
+	st := r.Stats()
+	if st.Retries != 0 || st.Failovers != 0 {
+		t.Fatalf("stats %+v: canceled batch must not retry or fail over", st)
+	}
+	if st.BreakerOpens != 0 {
+		t.Fatalf("breaker opened %d times on parent cancellation", st.BreakerOpens)
+	}
+	for i, bs := range r.BreakerStates() {
+		if bs != measure.BreakerClosed {
+			t.Fatalf("backend %d breaker %v after cancellation, want closed", i, bs)
+		}
+	}
+	if !r.Ready() {
+		t.Fatal("Reliable not Ready after a canceled batch")
+	}
+}
+
+// Cancellation during a backoff wait must interrupt the default sleep
+// immediately instead of serving out multi-second delays.
+func TestReliableCancelInterruptsBackoff(t *testing.T) {
+	task, sp, idxs := testTask(t)
+	flaky := &scripted{name: "board", errs: []error{errors.New("transient")}}
+	r, err := measure.NewReliable(measure.ReliableConfig{
+		MaxAttempts: 5, BackoffBase: 10 * time.Second, BackoffMax: 10 * time.Second, Seed: 1,
+	}, flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	_, err = r.MeasureBatchContext(ctx, task, sp, idxs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("backoff ignored cancellation for %v", e)
+	}
+}
+
+// Repeated cancellations of in-flight batches must not accumulate
+// goroutines (run under -race by the Makefile race gate).
+func TestReliableCancelLeaksNoGoroutines(t *testing.T) {
+	task, sp, idxs := testTask(t)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		slow := &slowEndpoint{name: "board", started: make(chan struct{})}
+		r, err := measure.NewReliable(measure.ReliableConfig{MaxAttempts: 3, Seed: 1}, slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			<-slow.started
+			cancel()
+		}()
+		if _, err := r.MeasureBatchContext(ctx, task, sp, idxs); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after canceled batches", baseline, runtime.NumGoroutine())
+}
+
+// Ready must track the breaker lifecycle: true while closed, false during
+// an open breaker's cooldown, true again once the cooldown elapses (the
+// next batch runs the half-open probe).
+func TestReliableReadyFollowsBreakerLifecycle(t *testing.T) {
+	task, sp, idxs := testTask(t)
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	dead := &scripted{name: "board", errs: []error{errors.New("down")}}
+	r, err := measure.NewReliable(measure.ReliableConfig{
+		MaxAttempts: 1, BreakerThreshold: 1, BreakerCooldown: time.Minute,
+		Seed: 1, Sleep: func(time.Duration) {}, Now: clock,
+	}, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ready() {
+		t.Fatal("fresh Reliable not Ready")
+	}
+	if _, err := r.MeasureBatch(task, sp, idxs); err == nil {
+		t.Fatal("dead backend succeeded")
+	}
+	if r.Ready() {
+		t.Fatal("Ready while the breaker cools down")
+	}
+	advance(2 * time.Minute)
+	if !r.Ready() {
+		t.Fatal("not Ready after the cooldown elapsed")
+	}
+}

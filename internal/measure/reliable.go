@@ -49,7 +49,10 @@ type ReliableConfig struct {
 	// device, task, batch and attempt, so concurrent sessions do not
 	// perturb each other's schedules).
 	Seed int64
-	// Sleep and Now are test hooks (default time.Sleep / time.Now).
+	// Sleep and Now are test hooks. When Sleep is nil the default backoff
+	// sleep is used, which a canceled context interrupts immediately; a
+	// custom Sleep runs to completion but cancellation is still checked
+	// when it returns.
 	Sleep func(time.Duration)
 	Now   func() time.Time
 	// EventSink, when non-nil, observes every recorded degradation Event
@@ -75,9 +78,6 @@ func (c *ReliableConfig) resolve() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
-	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -188,6 +188,31 @@ func (r *Reliable) Events() []Event {
 	return append([]Event(nil), r.events...)
 }
 
+// Ready reports whether some backend would accept work right now: a
+// breaker that is closed, half-open with no probe in flight, or open with
+// its cooldown elapsed (the next batch runs the half-open probe). A fleet
+// scheduler uses this to skip endpoints that would only fast-fail with
+// ErrBreakerOpen, while still routing a probe batch to a recovering one.
+func (r *Reliable) Ready() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.backends {
+		switch b.state {
+		case BreakerClosed:
+			return true
+		case BreakerHalfOpen:
+			if !b.probeInFlight {
+				return true
+			}
+		default: // open
+			if r.cfg.Now().Sub(b.openedAt) >= r.cfg.BreakerCooldown {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // BreakerStates reports each backend's current breaker position, in chain
 // order (open breakers past their cooldown still read as open until the
 // next batch probes them).
@@ -240,6 +265,12 @@ func (r *Reliable) MeasureBatchContext(ctx context.Context, task workload.Task, 
 			continue
 		}
 		results, err := r.tryBackend(ctx, be, probe, task, sp, idxs, seq)
+		if cerr := ctx.Err(); cerr != nil && err != nil {
+			// The parent context died (caller gave up, speculation twin
+			// won, shutdown): abort the whole failover chain instead of
+			// hammering the remaining backends with doomed attempts.
+			return nil, fmt.Errorf("measure: batch cancelled: %w", cerr)
+		}
 		if err == nil {
 			if bi > 0 {
 				r.mu.Lock()
@@ -319,6 +350,15 @@ func (r *Reliable) tryBackend(ctx context.Context, be *backend, probe bool, task
 			return results, nil
 		}
 		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			// Parent cancellation is not the backend's fault: release any
+			// probe claim without penalising the breaker, and skip the
+			// remaining retries — the caller has already moved on.
+			r.mu.Lock()
+			be.probeInFlight = false
+			r.mu.Unlock()
+			return nil, fmt.Errorf("measure: batch on %s cancelled: %w", name, cerr)
+		}
 		timedOut := errors.Is(err, context.DeadlineExceeded)
 		r.mu.Lock()
 		if timedOut {
@@ -337,10 +377,30 @@ func (r *Reliable) tryBackend(ctx context.Context, be *backend, probe bool, task
 				Detail: fmt.Sprintf("attempt %d/%d: %v", attempt, attempts, err)})
 			r.record(Event{Backend: name, Task: task.Name(), Kind: "backoff", Detail: d.String()})
 			r.mu.Unlock()
-			r.cfg.Sleep(d)
+			if err := r.sleep(ctx, d); err != nil {
+				return nil, fmt.Errorf("measure: backoff on %s aborted: %w", name, err)
+			}
 		}
 	}
 	return nil, lastErr
+}
+
+// sleep waits out a backoff delay, returning early with the context error
+// if the caller cancels mid-wait. A custom Sleep hook (tests) runs to
+// completion, but cancellation is still honored once it returns.
+func (r *Reliable) sleep(ctx context.Context, d time.Duration) error {
+	if r.cfg.Sleep != nil {
+		r.cfg.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // attemptOnce runs a single measurement attempt under the batch deadline.

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"github.com/neuralcompile/glimpse/internal/gpusim"
-	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/space"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
@@ -52,10 +51,12 @@ type PingReply struct {
 }
 
 // Server hosts simulated GPUs behind net/rpc, standing in for the paper's
-// RPC-attached measurement boards.
+// RPC-attached measurement boards. Each hosted device is an arbitrary
+// Measurer backend (a plain simulator by default), so wrappers — fault
+// injection, chaos schedules, logging — compose on the serving side too.
 type Server struct {
 	mu       sync.Mutex
-	devices  map[string]*gpusim.Device
+	backends map[string]Measurer
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	inflight int
@@ -80,15 +81,29 @@ func (s *Server) Stats() ServerStats {
 	return ServerStats{Batches: s.batches, Configs: s.configs, InFlight: s.inflight, Draining: s.draining}
 }
 
-// NewServer builds a server hosting the named GPUs.
+// NewServer builds a server hosting a plain simulator per named GPU.
 func NewServer(gpuNames []string) (*Server, error) {
-	s := &Server{devices: make(map[string]*gpusim.Device, len(gpuNames))}
-	for _, name := range gpuNames {
-		spec, err := hwspec.ByName(name)
+	return NewServerWrapped(gpuNames, nil)
+}
+
+// NewServerWrapped builds a server whose i-th device backend is
+// wrap(i, gpu, simulator). A nil wrap (or a nil return) hosts the plain
+// simulator — this is how cmd/measured layers chaos schedules onto the
+// boards it serves.
+func NewServerWrapped(gpuNames []string, wrap func(i int, gpu string, m Measurer) Measurer) (*Server, error) {
+	s := &Server{backends: make(map[string]Measurer, len(gpuNames))}
+	for i, name := range gpuNames {
+		local, err := NewLocal(name)
 		if err != nil {
 			return nil, err
 		}
-		s.devices[name] = gpusim.NewDevice(spec)
+		var m Measurer = local
+		if wrap != nil {
+			if w := wrap(i, name, m); w != nil {
+				m = w
+			}
+		}
+		s.backends[name] = m
 	}
 	return s, nil
 }
@@ -104,7 +119,7 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 	s.inflight++
 	s.batches++
 	s.configs += int64(len(args.Indices))
-	dev, ok := s.devices[args.Device]
+	m, ok := s.backends[args.Device]
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -122,14 +137,13 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 	if err != nil {
 		return err
 	}
-	reply.Results = make([]gpusim.Result, len(args.Indices))
-	for i, idx := range args.Indices {
+	for _, idx := range args.Indices {
 		if idx < 0 || idx >= sp.Size() {
 			return fmt.Errorf("measure: index %d out of space [0, %d)", idx, sp.Size())
 		}
-		reply.Results[i] = dev.MeasureIndex(task, sp, idx)
 	}
-	return nil
+	reply.Results, err = m.MeasureBatch(task, sp, args.Indices)
+	return err
 }
 
 // List is the RPC method returning hosted device names, sorted so client
@@ -137,7 +151,7 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 func (s *Server) List(_ struct{}, reply *ListReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for name := range s.devices {
+	for name := range s.backends {
 		reply.Devices = append(reply.Devices, name)
 	}
 	sort.Strings(reply.Devices)
@@ -150,7 +164,7 @@ func (s *Server) Ping(_ struct{}, reply *PingReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	reply.OK = !s.draining
-	reply.Devices = len(s.devices)
+	reply.Devices = len(s.backends)
 	reply.InFlight = s.inflight
 	reply.Draining = s.draining
 	return nil

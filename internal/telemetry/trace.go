@@ -19,6 +19,10 @@ const (
 	StageCheckpoint     = "checkpoint"      // durable task-plan append
 	StageGBTTrain       = "gbt_train"       // baseline cost-model fit
 	StageTask           = "task"            // one whole tuning task (fleet)
+	StageShard          = "shard"           // one shard of a sharded fleet run
+	StageDispatch       = "dispatch"        // one sharded measurement fan-out
+	StageSteal          = "steal"           // work-stealing events (tasks, endpoints)
+	StageSpeculate      = "speculate"       // straggler re-issue events
 )
 
 // SpanEvent is one line of a trace file. Kind is "span" for a timed
