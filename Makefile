@@ -35,13 +35,14 @@ test:
 # retry/breaker/failover, fault injection, and the parallel search engine:
 # worker pool, sharded annealer, GBT split search, sampler vote, neural
 # batch scoring) plus the packages that drive them: core's candidate
-# scoring and the tuners both call into the pooled scoring paths.
+# scoring and the tuners both call into the pooled scoring paths, and the
+# tuned-config cache takes concurrent Puts from fleet workers.
 .PHONY: race
 race:
 	$(GO) test -race ./internal/fleet/... ./internal/measure/... ./internal/faults/... \
 		./internal/parallel/... ./internal/anneal/... ./internal/gbt/... \
 		./internal/sampler/... ./internal/acq/... ./internal/nn/... \
-		./internal/core/... ./internal/tuner/...
+		./internal/core/... ./internal/tuner/... ./internal/cache/...
 
 .PHONY: bench
 bench:
@@ -75,6 +76,17 @@ bench-fleet:
 	$(GO) test -bench 'BenchmarkFleet' -benchtime 1x -benchmem -run '^$$' ./internal/fleet/... \
 		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
 	@echo wrote BENCH_fleet.json
+
+# Tuned-config cache benchmarks as a machine-readable artifact: exact-hit
+# serving latency (must stay microseconds — it replaces a whole tuning
+# session) and the 3-donor warm-vs-cold transfer study. Gate on the
+# meas_savings_% metric: the warm run must reach the cold run's final
+# best with >=30% fewer measurements on average.
+.PHONY: bench-cache
+bench-cache:
+	$(GO) test -bench 'BenchmarkCache' -benchtime 1x -benchmem -run '^$$' ./internal/cache/... \
+		| $(GO) run ./cmd/benchjson > BENCH_cache.json
+	@echo wrote BENCH_cache.json
 
 .PHONY: fmt
 fmt:

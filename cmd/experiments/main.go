@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation]
+//	experiments [-run all|fig1|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ablation|scaling|warmcache]
 //	            [-seed N] [-scale quick|default|full] [-v] [-workers N]
 //	            [-trace path]
 //
@@ -133,6 +133,12 @@ func main() {
 	if want["scaling"] {
 		r, err := env.Scaling()
 		emit("scaling", r, err)
+	}
+	// The warm-start cache study (donor GPUs fill a tuned-config store,
+	// the excluded target warm-starts from it) is likewise explicit-only.
+	if want["warmcache"] {
+		r, err := env.WarmCache()
+		emit("warmcache", r, err)
 	}
 	needGrid := selected("fig6") || selected("fig7") || selected("fig9") || selected("table2")
 	if needGrid {

@@ -9,7 +9,14 @@
 //	      [-checkpoint tune.ckpt] [-retries 3] [-batch-timeout 30s] [-workers N] \
 //	      [-endpoints 200] [-shards 4] [-steal] [-speculate] \
 //	      [-chaos flap] [-chaos-seed 1] [-chaos-frac 0.1] \
-//	      [-trace path] [-debug-addr 127.0.0.1:6060]
+//	      [-trace path] [-debug-addr 127.0.0.1:6060] \
+//	      [-cache path] [-warm-k 3] [-cache-readonly]
+//
+// -cache points at a persistent tuned-config store shared across runs and
+// devices: an exact (workload, GPU) hit is served with zero measurements,
+// and a first-time GPU warm-starts each task from the -warm-k nearest
+// donor SKUs in Blueprint space under a shrunken budget. New bests are
+// written back unless -cache-readonly is set.
 //
 // -trace writes a JSONL span trace (per-task tuning spans, checkpoint
 // writes, measurement degradation events); aggregate with cmd/tracereport.
@@ -46,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/neuralcompile/glimpse/internal/cache"
 	"github.com/neuralcompile/glimpse/internal/core"
 	"github.com/neuralcompile/glimpse/internal/faults"
 	"github.com/neuralcompile/glimpse/internal/fleet"
@@ -81,6 +89,9 @@ func main() {
 	chaosFrac := flag.Float64("chaos-frac", 0.1, "fraction of endpoints the chaos schedule churns")
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the fleet run to this file")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and /telemetryz on this address (empty: disabled)")
+	cachePath := flag.String("cache", "", "persistent tuned-config store (JSONL; exact hits skip tuning, misses warm-start)")
+	warmK := flag.Int("warm-k", 3, "with -cache: nearest donor devices per warm start")
+	cacheReadonly := flag.Bool("cache-readonly", false, "with -cache: serve and warm-start but never write")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -195,6 +206,26 @@ func main() {
 		},
 	}
 
+	var store *cache.Store
+	if *cachePath != "" {
+		var err error
+		if *cacheReadonly {
+			store, err = cache.OpenReadOnly(*cachePath)
+		} else {
+			store, err = cache.Open(*cachePath)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		if n := store.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fleet: tuned-config cache: %d entries in %s\n", n, *cachePath)
+		}
+		cfg.Cache = store
+		cfg.WarmK = *warmK
+	}
+
 	if *ckptPath != "" {
 		ck, err := fleet.OpenCheckpoint(*ckptPath)
 		if err != nil {
@@ -271,11 +302,11 @@ func main() {
 
 	table := metrics.NewTable(
 		fmt.Sprintf("Deployment plans: %s via %s (%d measurements/task)", *model, *tunerName, *budget),
-		"gpu", "latency ms", "GPU s", "measured", "invalid", "failed", "resumed")
+		"gpu", "latency ms", "GPU s", "measured", "invalid", "failed", "resumed", "cached")
 	partial := 0
 	for _, p := range plans {
 		table.AddRowf(p.GPU, fmt.Sprintf("%.4f", p.LatencyMS), fmt.Sprintf("%.0f", p.GPUSeconds),
-			p.Measurements, p.Invalid, p.FailedTasks, p.ResumedTasks)
+			p.Measurements, p.Invalid, p.FailedTasks, p.ResumedTasks, p.CachedTasks)
 		if !p.Complete() {
 			partial++
 			for _, tp := range p.FailedTaskPlans() {
@@ -304,5 +335,10 @@ func main() {
 			hint = fmt.Sprintf(" — rerun with -checkpoint %s to re-measure only the failed tasks", *ckptPath)
 		}
 		fmt.Fprintf(os.Stderr, "fleet: %d of %d plans are partial%s\n", partial, len(plans), hint)
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "fleet: cache: %d hits, %d misses, %d warm starts, %d puts (%d skipped)\n",
+			st.Hits, st.Misses, st.WarmStarts, st.Puts, st.PutSkips)
 	}
 }

@@ -6,7 +6,7 @@
 //	glimpse -model resnet-18 -gpu titan-xp [-tasks 1,7,17] [-budget 192]
 //	        [-seed N] [-compare] [-rpc addr] [-artifacts path] [-log path]
 //	        [-checkpoint path] [-fallback-local] [-retries 3] [-workers N]
-//	        [-trace path]
+//	        [-trace path] [-cache path] [-warm-k 3] [-cache-readonly]
 //
 // With -compare, AutoTVM runs on the same tasks for reference. With -rpc,
 // measurements go to a measurement server (cmd/measured) instead of the
@@ -21,6 +21,14 @@
 // (prior sampling, annealing, surrogate fits, acquisition, measurement);
 // aggregate it with cmd/tracereport. Tracing observes only — results are
 // byte-identical with and without it.
+//
+// -cache points at a persistent tuned-config store (JSONL, created if
+// absent): a task whose workload fingerprint and GPU were tuned before is
+// served from the store with zero measurements, and a task tuned before
+// only on *other* GPUs warm-starts from the -warm-k nearest donors in
+// Blueprint space under a shrunken budget. New bests are written back
+// unless -cache-readonly is set (which also never creates or modifies the
+// file — safe for concurrent serving).
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/neuralcompile/glimpse/internal/cache"
 	"github.com/neuralcompile/glimpse/internal/core"
 	"github.com/neuralcompile/glimpse/internal/fleet"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
@@ -63,6 +72,9 @@ func main() {
 	batchTimeout := flag.Duration("batch-timeout", 30*time.Second, "with -rpc: deadline per measurement batch")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for search and scoring (results are identical for any value)")
 	tracePath := flag.String("trace", "", "write a JSONL span trace of the tuning stages to this file")
+	cachePath := flag.String("cache", "", "persistent tuned-config store (JSONL; exact hits skip tuning, misses warm-start)")
+	warmK := flag.Int("warm-k", 3, "with -cache: nearest donor devices per warm start")
+	cacheReadonly := flag.Bool("cache-readonly", false, "with -cache: serve and warm-start but never write")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -181,6 +193,22 @@ func main() {
 		}
 	}
 
+	var store *cache.Store
+	if *cachePath != "" {
+		if *cacheReadonly {
+			store, err = cache.OpenReadOnly(*cachePath)
+		} else {
+			store, err = cache.Open(*cachePath)
+		}
+		if err != nil {
+			fail(err)
+		}
+		defer store.Close()
+		if n := store.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "tuned-config cache: %d entries in %s\n", n, *cachePath)
+		}
+	}
+
 	var ck *fleet.Checkpoint
 	if *ckptPath != "" {
 		ck, err = fleet.OpenCheckpoint(*ckptPath)
@@ -210,13 +238,50 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		var fp string
+		var warm *cache.WarmStart
+		taskBudget := bud
+		if store != nil {
+			fp = cache.Fingerprint(task, sp)
+			lsp := tracer.Start(telemetry.StageCacheLookup)
+			lsp.SetAttr("task", task.Name())
+			ce, hit := store.Get(fp, *gpu)
+			lsp.SetAttr("hit", hit)
+			lsp.End()
+			if hit && ce.BestConfig < sp.Size() {
+				hsp := tracer.Start(telemetry.StageCacheHit)
+				hsp.SetAttr("task", task.Name())
+				hsp.SetAttr("gflops", ce.GFLOPS)
+				hsp.End()
+				table.AddRowf(task.Name(), "glimpse (cache)",
+					fmt.Sprintf("%.0f", ce.GFLOPS), fmt.Sprintf("%.4f", ce.TimeMS),
+					0, 0, "0")
+				continue
+			}
+			warm = store.WarmStart(fp, *gpu, sp, *warmK)
+		}
 		gl := tk.Tuner()
 		gl.Tracer = tracer
-		res, err := gl.Tune(task, sp, m, bud, g.Split("tune/"+task.Name()))
+		name := "glimpse"
+		if warm != nil {
+			gl.SetWarmStart(warm)
+			taskBudget = cache.ShrinkBudget(bud, cache.WarmBudgetFrac)
+			name = "glimpse (warm)"
+		}
+		res, err := gl.Tune(task, sp, m, taskBudget, g.Split("tune/"+task.Name()))
 		if err != nil {
 			fail(err)
 		}
-		table.AddRowf(task.Name(), "glimpse",
+		if store != nil {
+			if ce, ok := cache.EntryFromResult(fp, *gpu, res, sp); ok {
+				ce.Model = *model
+				ce.TaskIndex = task.Index
+				if _, err := store.Put(ce); err != nil {
+					fail(err)
+				}
+			}
+		}
+		table.AddRowf(task.Name(), name,
 			fmt.Sprintf("%.0f", res.BestGFLOPS), fmt.Sprintf("%.4f", res.BestTimeMS),
 			res.Measurements, res.Invalid, fmt.Sprintf("%.0f", res.GPUSeconds))
 		if ck != nil && res.BestIndex >= 0 {
@@ -251,6 +316,11 @@ func main() {
 		}
 	}
 	fmt.Print(table.String())
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d warm starts, %d puts (%d skipped)\n",
+			st.Hits, st.Misses, st.WarmStarts, st.Puts, st.PutSkips)
+	}
 }
 
 func fail(err error) {

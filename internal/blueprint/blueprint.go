@@ -47,6 +47,7 @@ func Build(specs []hwspec.Spec, dim int) (*Embedding, error) {
 			comp.Set(k, j, eig.Vectors.At(j, k))
 		}
 	}
+	canonicalizeSigns(comp)
 	return &Embedding{
 		Dim:         dim,
 		components:  comp,
@@ -54,6 +55,35 @@ func Build(specs []hwspec.Spec, dim int) (*Embedding, error) {
 		stds:        stds,
 		eigenvalues: eig.Values,
 	}, nil
+}
+
+// canonicalizeSigns fixes each principal component's sign so the entry
+// with the largest magnitude is positive (first such entry on ties). An
+// eigenvector is only defined up to sign, and numerical eigensolvers may
+// flip it between otherwise-identical builds; embeddings are persisted as
+// cache keys, so the orientation must be a pure function of the data.
+func canonicalizeSigns(comp *mat.Matrix) {
+	for k := 0; k < comp.Rows(); k++ {
+		row := comp.Row(k)
+		pivot := 0
+		for j := 1; j < len(row); j++ {
+			if abs(row[j]) > abs(row[pivot]) {
+				pivot = j
+			}
+		}
+		if row[pivot] < 0 {
+			for j := range row {
+				comp.Set(k, j, -comp.At(k, j))
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // standardize maps a raw feature vector into standardized space.
@@ -83,7 +113,15 @@ func (e *Embedding) Reconstruct(emb []float64) []float64 {
 	std := e.components.T().MulVec(emb)
 	out := make([]float64, len(std))
 	for j, v := range std {
-		out[j] = v*e.stds[j] + e.means[j]
+		// Mirror standardize exactly: a near-constant feature is centered
+		// but not scaled there, so it must not be multiplied by its
+		// (vanishing) std here — that would collapse the reconstruction
+		// to the mean offset instead of round-tripping.
+		if e.stds[j] > 1e-12 {
+			out[j] = v*e.stds[j] + e.means[j]
+		} else {
+			out[j] = v + e.means[j]
+		}
 	}
 	return out
 }

@@ -147,6 +147,76 @@ func TestReconstructFeature(t *testing.T) {
 	}
 }
 
+// TestReconstructNearConstantFeature is the roundtrip-asymmetry
+// regression: standardize skips the division for a feature whose
+// population std vanishes (warp_size is 32 on every registry GPU), so
+// Reconstruct must skip the multiplication too. The old code multiplied
+// the centered value by the zero std, collapsing any off-population value
+// (a future 64-wide-warp part, say) back to the population mean.
+func TestReconstructNearConstantFeature(t *testing.T) {
+	specs := hwspec.Registry()
+	const warpIdx = 13 // "warp_size" in hwspec.FeatureNames()
+	if hwspec.FeatureNames()[warpIdx] != "warp_size" {
+		t.Fatalf("feature %d is %q, want warp_size", warpIdx, hwspec.FeatureNames()[warpIdx])
+	}
+	for _, s := range specs {
+		if s.WarpSize != 32 {
+			t.Skipf("registry no longer has constant warp size (%s: %d)", s.Name, s.WarpSize)
+		}
+	}
+	e, err := Build(specs, hwspec.FeatureDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := hwspec.MustByName(hwspec.RTX3090)
+	wide.Name = "hypothetical-wide-warp"
+	wide.WarpSize = 64
+	back := e.Reconstruct(e.Embed(wide))
+	if math.Abs(back[warpIdx]-64) > 1e-6 {
+		t.Fatalf("reconstructed warp_size = %g, want 64 (near-constant feature collapsed)", back[warpIdx])
+	}
+}
+
+// TestComponentSignsCanonical pins the PCA orientation contract: each
+// component's largest-magnitude entry is positive, and two independent
+// builds produce byte-identical serialized embeddings. Eigenvectors are
+// only defined up to sign, and embeddings persist as cache keys, so the
+// orientation must be a pure function of the spec population.
+func TestComponentSignsCanonical(t *testing.T) {
+	specs := hwspec.Registry()
+	e, err := Build(specs, DefaultDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < e.Dim; k++ {
+		row := e.components.Row(k)
+		pivot := 0
+		for j := 1; j < len(row); j++ {
+			if math.Abs(row[j]) > math.Abs(row[pivot]) {
+				pivot = j
+			}
+		}
+		if row[pivot] < 0 {
+			t.Fatalf("component %d pivot entry %g is negative", k, row[pivot])
+		}
+	}
+	again, err := Build(specs, DefaultDim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := e.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := again.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("two builds over the same population serialized differently")
+	}
+}
+
 func TestReconstructLengthPanics(t *testing.T) {
 	specs := hwspec.Registry()
 	e, err := Build(specs, 4)

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// entryLine renders a valid store line for hand-built fixture files.
+func entryLine(t *testing.T, fp, device string, seq int, gflops float64) string {
+	t.Helper()
+	e := testEntry(t, fp, device, 1, gflops)
+	e.Seq = seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestReopenTornInvalidTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	good := entryLine(t, "fp", "titan-xp", 1, 500)
+	// A writer killed mid-append leaves a truncated, unparseable tail.
+	torn := good[:len(good)/2]
+	if err := os.WriteFile(path, []byte(good+"\n"+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, path)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d want 1 (torn tail must be dropped, good line kept)", s.Len())
+	}
+	// The torn bytes must be gone: the next Put appends a clean line.
+	if _, err := s.Put(testEntry(t, "fp2", "rtx-3090", 2, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), torn+"{") || !strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("file not repaired cleanly:\n%s", data)
+	}
+	re := openStore(t, path)
+	if re.Len() != 2 {
+		t.Fatalf("reopened Len = %d want 2", re.Len())
+	}
+}
+
+func TestReopenUnterminatedValidTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	// Complete JSON whose trailing newline never made it to disk: the
+	// entry is good and must be kept, and reopen terminates it in place.
+	line := entryLine(t, "fp", "titan-xp", 1, 500)
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, path)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d want 1", s.Len())
+	}
+	if _, err := s.Put(testEntry(t, "fp2", "rtx-3090", 2, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openStore(t, path)
+	if re.Len() != 2 {
+		t.Fatalf("reopened Len = %d want 2 — tail termination corrupted the log", re.Len())
+	}
+}
+
+func TestOpenRejectsCorruptEntry(t *testing.T) {
+	good := entryLine(t, "fp", "titan-xp", 1, 500)
+	cases := map[string]string{
+		"garbage line":    good + "\n" + "{not json}" + "\n",
+		"missing device":  good + "\n" + `{"seq":2,"fingerprint":"fp","best_config":1,"gflops":5}` + "\n",
+		"negative config": good + "\n" + `{"seq":2,"fingerprint":"fp","device":"titan-xp","best_config":-4,"gflops":5}` + "\n",
+		"NaN gflops":      good + "\n" + `{"seq":2,"fingerprint":"fp","device":"titan-xp","best_config":1,"gflops":"x"}` + "\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(t.TempDir(), "cache.jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Errorf("%s: Open accepted a corrupt store", name)
+		}
+		if _, err := OpenReadOnly(path); err == nil {
+			t.Errorf("%s: OpenReadOnly accepted a corrupt store", name)
+		}
+	}
+}
+
+func TestConcurrentPut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	s := openStore(t, path)
+	const writers, perWriter = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fp := fmt.Sprintf("fp-%d-%d", w, i)
+				if _, err := s.Put(testEntry(t, fp, "titan-xp", int64(i), 100+float64(i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len = %d want %d", s.Len(), writers*perWriter)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every concurrent append must survive a reopen intact.
+	re := openStore(t, path)
+	if re.Len() != writers*perWriter {
+		t.Fatalf("reopened Len = %d want %d", re.Len(), writers*perWriter)
+	}
+}
+
+func TestReadOnlyNeverWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	s := openStore(t, path)
+	if _, err := s.Put(testEntry(t, "fp", "titan-xp", 1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() = false")
+	}
+	// Lookups work; an improving Put is silently skipped, never written.
+	if _, ok := ro.Get("fp", "titan-xp"); !ok {
+		t.Fatal("readonly Get missed")
+	}
+	stored, err := ro.Put(testEntry(t, "fp", "titan-xp", 2, 9999))
+	if err != nil || stored {
+		t.Fatalf("readonly Put = (%v, %v), want (false, nil)", stored, err)
+	}
+	if got, _ := ro.Get("fp", "titan-xp"); got.GFLOPS != 500 {
+		t.Fatalf("readonly Put mutated the index: %+v", got)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("readonly store modified the file:\nbefore: %s\nafter: %s", before, after)
+	}
+	if st := ro.Stats(); st.PutSkips != 1 || st.Puts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

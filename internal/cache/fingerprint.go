@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/blueprint"
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// Fingerprint derives the deterministic workload key a tuned config is
+// stored under: template kind, the exact layer shape, and the schedule
+// space's structural signature. Task and model *names* are deliberately
+// absent — two networks tuning the same conv shape through the same
+// template share a fingerprint, so one paid-for tuning session serves
+// every future query of that shape (the repeated-traffic case the cache
+// exists for). The space signature guards the other direction: any
+// template change that reshapes the config space invalidates stored
+// config indices no matter how the workload is named.
+func Fingerprint(task workload.Task, sp *space.Space) string {
+	var sb strings.Builder
+	sb.WriteString(task.Kind.String())
+	sb.WriteByte('|')
+	for i, v := range task.SpecVector() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	sb.WriteByte('|')
+	sb.WriteString(sp.Signature())
+	return sb.String()
+}
+
+// canonicalEmb memoizes the one embedding every store key lives in: the
+// default-dimension Blueprint over the spec registry at first use. Sign
+// canonicalization in blueprint.Build makes this a pure function of the
+// registry, so embeddings persisted by one binary match lookups from
+// another.
+var (
+	canonicalMu  sync.Mutex
+	canonicalEmb *blueprint.Embedding
+	canonicalErr error
+)
+
+func canonical() (*blueprint.Embedding, error) {
+	canonicalMu.Lock()
+	defer canonicalMu.Unlock()
+	if canonicalEmb == nil && canonicalErr == nil {
+		canonicalEmb, canonicalErr = blueprint.Build(hwspec.Registry(), blueprint.DefaultDim())
+	}
+	return canonicalEmb, canonicalErr
+}
+
+// EmbedDevice returns the named device's canonical Blueprint vector — the
+// coordinate system cache keys and nearest-neighbor distances live in.
+func EmbedDevice(device string) ([]float64, error) {
+	emb, err := canonical()
+	if err != nil {
+		return nil, fmt.Errorf("cache: canonical embedding: %w", err)
+	}
+	spec, err := hwspec.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	return emb.Embed(spec), nil
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/neuralcompile/glimpse/internal/cache"
+	"github.com/neuralcompile/glimpse/internal/core"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+)
+
+// WarmCacheRow compares one task's cold tuning run against a warm-started
+// run seeded from donor devices that tuned the same workload first.
+type WarmCacheRow struct {
+	Task     string
+	ColdBest float64 // best GFLOPS, full budget, no cache
+	WarmBest float64 // best GFLOPS, shrunken budget, donor-seeded
+	ColdMeas int
+	WarmMeas int
+	// ColdCurve / WarmCurve are the best-found GFLOPS after each
+	// measurement step (the quantity transfer figures plot).
+	ColdCurve []float64
+	WarmCurve []float64
+	// WarmToColdBest is how many measurements the warm run needed to match
+	// the cold run's final best (0 = never matched within its budget).
+	WarmToColdBest int
+}
+
+// WarmCacheResult aggregates the warm-vs-cold study.
+type WarmCacheResult struct {
+	Target   string
+	Donors   []string
+	Budget   int
+	WarmFrac float64
+	Rows     []WarmCacheRow
+	// Matched counts rows whose warm run reached the cold best.
+	Matched int
+	// MeanSavings is the mean fraction of measurements saved by warm runs
+	// that matched the cold best (1 - warm/cold measurements).
+	MeanSavings float64
+}
+
+// WarmCache runs the tuned-config cache's serving scenario end to end: the
+// donor GPUs tune each grid task of the first model and publish their
+// results into a store; the (excluded) target GPU then tunes the same
+// tasks twice — cold with the full budget, and warm-started from its
+// nearest donors under the shrunken WarmBudgetFrac budget. This is the
+// paper's Fig. 5 leave-one-out transfer setting recast as infrastructure:
+// the donors' sessions are the cache's contents, not a training corpus.
+func (e *Env) WarmCache() (*WarmCacheResult, error) {
+	targets := e.cfg.Targets
+	if len(targets) < 2 {
+		return nil, fmt.Errorf("experiments: warmcache needs ≥2 targets (donors + query), have %d", len(targets))
+	}
+	query := targets[0]
+	donors := targets[1:]
+	out := &WarmCacheResult{
+		Target:   query,
+		Donors:   append([]string(nil), donors...),
+		Budget:   e.cfg.MaxMeasurements,
+		WarmFrac: cache.WarmBudgetFrac,
+	}
+	budget := tuner.Budget{MaxMeasurements: e.cfg.MaxMeasurements}
+	store := cache.NewMemory()
+
+	model := e.cfg.Models[0]
+	tasks, err := e.GridTasks(model)
+	if err != nil {
+		return nil, err
+	}
+
+	glimpseFor := func(target string) (*core.Glimpse, error) {
+		tk, err := e.Toolkit(target)
+		if err != nil {
+			return nil, err
+		}
+		gl := tk.Tuner()
+		gl.BatchSize = e.cfg.BatchSize
+		gl.Tracer = e.cfg.Tracer
+		return gl, nil
+	}
+
+	// Donor passes fill the store.
+	for _, donor := range donors {
+		m, err := measure.NewLocal(donor)
+		if err != nil {
+			return nil, err
+		}
+		for _, task := range tasks {
+			sp, err := space.ForTask(task)
+			if err != nil {
+				return nil, err
+			}
+			gl, err := glimpseFor(donor)
+			if err != nil {
+				return nil, err
+			}
+			res, err := gl.Tune(task, sp, m, budget,
+				e.rngFor(fmt.Sprintf("warmcache/donor/%s/%s", donor, task.Name())))
+			if err != nil {
+				return nil, err
+			}
+			if ce, ok := cache.EntryFromResult(cache.Fingerprint(task, sp), donor, res, sp); ok {
+				ce.Model = task.Model
+				ce.TaskIndex = task.Index
+				if _, err := store.Put(ce); err != nil {
+					return nil, err
+				}
+			}
+			e.logf("warmcache: donor %-14s %-22s best %.0f GFLOPS", donor, task.Name(), res.BestGFLOPS)
+		}
+	}
+
+	curve := func(res *tuner.Result) []float64 {
+		var c []float64
+		for _, h := range res.History {
+			c = append(c, h.BestGFLOPS)
+		}
+		return c
+	}
+
+	m, err := measure.NewLocal(query)
+	if err != nil {
+		return nil, err
+	}
+	var savings []float64
+	for _, task := range tasks {
+		sp, err := space.ForTask(task)
+		if err != nil {
+			return nil, err
+		}
+		cold, err := func() (*tuner.Result, error) {
+			gl, err := glimpseFor(query)
+			if err != nil {
+				return nil, err
+			}
+			return gl.Tune(task, sp, m, budget,
+				e.rngFor(fmt.Sprintf("warmcache/cold/%s", task.Name())))
+		}()
+		if err != nil {
+			return nil, err
+		}
+
+		gl, err := glimpseFor(query)
+		if err != nil {
+			return nil, err
+		}
+		fp := cache.Fingerprint(task, sp)
+		ws := store.WarmStart(fp, query, sp, 3)
+		if ws == nil {
+			return nil, fmt.Errorf("experiments: no donors for %s despite donor passes", task.Name())
+		}
+		gl.SetWarmStart(ws)
+		warm, err := gl.Tune(task, sp, m, cache.ShrinkBudget(budget, cache.WarmBudgetFrac),
+			e.rngFor(fmt.Sprintf("warmcache/warm/%s", task.Name())))
+		if err != nil {
+			return nil, err
+		}
+
+		row := WarmCacheRow{
+			Task:      task.Name(),
+			ColdBest:  cold.BestGFLOPS,
+			WarmBest:  warm.BestGFLOPS,
+			ColdMeas:  cold.Measurements,
+			WarmMeas:  warm.Measurements,
+			ColdCurve: curve(cold),
+			WarmCurve: curve(warm),
+		}
+		for _, h := range warm.History {
+			if h.BestGFLOPS >= cold.BestGFLOPS {
+				row.WarmToColdBest = h.Measurements
+				break
+			}
+		}
+		if row.WarmToColdBest > 0 && cold.Measurements > 0 {
+			out.Matched++
+			savings = append(savings, 1-float64(row.WarmToColdBest)/float64(cold.Measurements))
+		}
+		out.Rows = append(out.Rows, row)
+		e.logf("warmcache: query %-14s %-22s cold %.0f@%d warm %.0f@%d (match@%d)",
+			query, task.Name(), row.ColdBest, row.ColdMeas, row.WarmBest, row.WarmMeas, row.WarmToColdBest)
+	}
+	out.MeanSavings = mean(savings)
+	return out, nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// Render formats the warm-vs-cold report.
+func (r *WarmCacheResult) Render() string {
+	var sb strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Warm-start cache — %s seeded by %s (%d measurements cold, %.0f%% warm)",
+			r.Target, strings.Join(r.Donors, "+"), r.Budget, 100*r.WarmFrac),
+		"task", "cold best", "warm best", "cold meas", "warm meas", "warm matches cold @")
+	for _, row := range r.Rows {
+		match := "never"
+		if row.WarmToColdBest > 0 {
+			match = fmt.Sprintf("%d", row.WarmToColdBest)
+		}
+		t.AddRowf(row.Task, fmt.Sprintf("%.0f", row.ColdBest), fmt.Sprintf("%.0f", row.WarmBest),
+			row.ColdMeas, row.WarmMeas, match)
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "warm run matched the cold run's final best on %d/%d tasks; "+
+		"mean measurement savings when matched: %.0f%%\n",
+		r.Matched, len(r.Rows), 100*r.MeanSavings)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %s cold %s\n", row.Task, spark(row.ColdCurve))
+		fmt.Fprintf(&sb, "  %s warm %s\n", strings.Repeat(" ", len(row.Task)), spark(row.WarmCurve))
+	}
+	return sb.String()
+}
+
+// spark renders a best-found curve as a compact numeric series.
+func spark(c []float64) string {
+	var parts []string
+	for _, v := range c {
+		parts = append(parts, fmt.Sprintf("%.0f", v))
+	}
+	return strings.Join(parts, " → ")
+}

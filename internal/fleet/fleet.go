@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync"
 
+	"github.com/neuralcompile/glimpse/internal/cache"
 	"github.com/neuralcompile/glimpse/internal/codegen"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/rng"
@@ -45,6 +46,12 @@ type TaskPlan struct {
 	Error  string `json:"error,omitempty"`
 	// FromCheckpoint marks a task restored from a previous session.
 	FromCheckpoint bool `json:"from_checkpoint,omitempty"`
+	// FromCache marks a task served from the tuned-config cache with zero
+	// measurements (exact fingerprint + device hit).
+	FromCache bool `json:"from_cache,omitempty"`
+	// WarmStarted marks a task whose session was seeded from cache donors
+	// under a shrunken budget.
+	WarmStarted bool `json:"warm_started,omitempty"`
 }
 
 // Plan is the deployment artifact for one model on one GPU. A plan with
@@ -59,6 +66,7 @@ type Plan struct {
 	Invalid      int        `json:"invalid"`
 	FailedTasks  int        `json:"failed_tasks,omitempty"`
 	ResumedTasks int        `json:"resumed_tasks,omitempty"`
+	CachedTasks  int        `json:"cached_tasks,omitempty"`
 }
 
 // Complete reports whether every task produced a deployable configuration.
@@ -97,6 +105,15 @@ type Config struct {
 	// Checkpoint, when set, records each completed task and lets a
 	// resumed session skip tasks already recorded for (model, gpu).
 	Checkpoint *Checkpoint
+	// Cache, when set, is consulted before each task is dispatched: an
+	// exact (fingerprint, device) hit serves the stored best configuration
+	// with zero measurements; a miss warm-starts the session from the
+	// WarmK nearest donor devices under a shrunken budget (for tuners that
+	// implement cache.WarmStartable). New bests are written back unless
+	// the store is readonly.
+	Cache *cache.Store
+	// WarmK is the donor count for cache warm starts (default 3).
+	WarmK int
 	// Tracer records one "task" span per tuning task plus "checkpoint"
 	// spans and failure events (nil: tracing disabled). The tracer is safe
 	// for the concurrent task goroutines; it observes only and never
@@ -117,6 +134,9 @@ func (c *Config) resolve() error {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = 2
+	}
+	if c.WarmK <= 0 {
+		c.WarmK = 3
 	}
 	return nil
 }
@@ -161,11 +181,65 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 	if err != nil {
 		return failed(err), nil
 	}
+
+	// Tuned-config cache: exact hit serves the stored best with zero
+	// measurements; a miss seeds the session from the nearest donors.
+	var fp string
+	budget := cfg.Budget
+	var warm *cache.WarmStart
+	if cfg.Cache != nil {
+		fp = cache.Fingerprint(task, sp)
+		lsp := cfg.Tracer.Start(telemetry.StageCacheLookup)
+		lsp.SetAttr("task", task.Name())
+		ce, hit := cfg.Cache.Get(fp, m.DeviceName())
+		if !hit {
+			warm = cfg.Cache.WarmStart(fp, m.DeviceName(), sp, cfg.WarmK)
+			lsp.SetAttr("donors", warmDonors(warm))
+		}
+		lsp.SetAttr("hit", hit)
+		lsp.End()
+		if hit && ce.BestConfig < sp.Size() {
+			hsp := cfg.Tracer.Start(telemetry.StageCacheHit)
+			hsp.SetAttr("task", task.Name())
+			hsp.SetAttr("gflops", ce.GFLOPS)
+			tp := TaskPlan{
+				TaskName:    task.Name(),
+				TaskIndex:   task.Index,
+				Kind:        task.Kind.String(),
+				ConfigIndex: ce.BestConfig,
+				Schedule:    sp.Describe(sp.FromIndex(ce.BestConfig)),
+				GFLOPS:      ce.GFLOPS,
+				TimeMS:      ce.TimeMS,
+				Repeats:     task.Repeats,
+				FromCache:   true,
+			}
+			if cfg.GenerateKernels {
+				kern, err := codegen.Lower(task, sp, sp.FromIndex(ce.BestConfig))
+				if err != nil {
+					hsp.End()
+					return failed(err), nil
+				}
+				tp.Kernel = kern.Render()
+			}
+			hsp.End()
+			tsp.SetAttr("outcome", "cached")
+			return tp, nil
+		}
+	}
+
 	tn, err := cfg.NewTuner(task, m.DeviceName())
 	if err != nil {
 		return failed(err), nil
 	}
-	res, err := tn.Tune(task, sp, m, cfg.Budget, g.Split("fleet/"+task.Name()))
+	if warm != nil {
+		if w, ok := tn.(cache.WarmStartable); ok {
+			w.SetWarmStart(warm)
+			budget = cache.ShrinkBudget(budget, cache.WarmBudgetFrac)
+		} else {
+			warm = nil
+		}
+	}
+	res, err := tn.Tune(task, sp, m, budget, g.Split("fleet/"+task.Name()))
 	if err != nil {
 		return failed(fmt.Errorf("fleet: %s: %w", task.Name(), err)), nil
 	}
@@ -184,6 +258,7 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 		GPUSeconds:   res.GPUSeconds,
 		Measurements: res.Measurements,
 		Invalid:      res.Invalid,
+		WarmStarted:  warm != nil,
 	}
 	if cfg.GenerateKernels {
 		kern, err := codegen.Lower(task, sp, sp.FromIndex(res.BestIndex))
@@ -201,9 +276,26 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 			return tp, fmt.Errorf("fleet: checkpoint %s: %w", task.Name(), err)
 		}
 	}
+	if cfg.Cache != nil {
+		if ce, ok := cache.EntryFromResult(fp, m.DeviceName(), res, sp); ok {
+			ce.Model = cfg.Model
+			ce.TaskIndex = task.Index
+			if _, err := cfg.Cache.Put(ce); err != nil {
+				return tp, fmt.Errorf("fleet: cache put %s: %w", task.Name(), err)
+			}
+		}
+	}
 	tsp.SetAttr("outcome", "ok")
 	tsp.SetAttr("measurements", res.Measurements)
 	return tp, nil
+}
+
+// warmDonors renders a warm start's donor list for trace attributes.
+func warmDonors(ws *cache.WarmStart) int {
+	if ws == nil {
+		return 0
+	}
+	return len(ws.Donors)
 }
 
 // assemblePlan rolls completed task plans (in task order) into the
@@ -218,6 +310,9 @@ func assemblePlan(model, gpu string, tasks []workload.Task, tps []TaskPlan) *Pla
 		}
 		if tp.FromCheckpoint {
 			plan.ResumedTasks++
+		}
+		if tp.FromCache {
+			plan.CachedTasks++
 		}
 		plan.GPUSeconds += tp.GPUSeconds
 		plan.Measurements += tp.Measurements

@@ -1,7 +1,9 @@
 package space
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"github.com/neuralcompile/glimpse/internal/rng"
@@ -126,6 +128,49 @@ func (s *Space) Describe(cfg Config) string {
 		}
 	}
 	return sb.String()
+}
+
+// Signature digests the space's structure — template, knob names, kinds,
+// factorization tables, and categorical options — into a short stable hex
+// string. Two spaces share a signature exactly when a configuration index
+// means the same schedule in both, which is what persistent tuned-config
+// caches key on: a template change that reshapes the space must invalidate
+// every stored config index.
+func (s *Space) Signature() string {
+	h := fnv.New64a()
+	word := func(v int64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	str := func(v string) {
+		h.Write([]byte(v))
+		h.Write([]byte{0})
+	}
+	str(s.Template)
+	word(int64(len(s.Knobs)))
+	for i := range s.Knobs {
+		k := &s.Knobs[i]
+		str(k.Name)
+		word(int64(k.Kind))
+		if k.Kind == KindSplit {
+			word(int64(k.Axis))
+			word(int64(k.Parts))
+			for _, r := range k.Roles {
+				word(int64(r))
+			}
+			for _, entry := range k.entries {
+				for _, f := range entry {
+					word(int64(f))
+				}
+			}
+		} else {
+			for _, opt := range k.Options {
+				word(int64(opt))
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // KnobByName returns a pointer to the named knob and its position.

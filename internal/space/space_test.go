@@ -286,3 +286,30 @@ func TestKnobByNameMissing(t *testing.T) {
 		t.Fatal("missing knob did not error")
 	}
 }
+
+func TestSignatureStableAndStructural(t *testing.T) {
+	taskA := taskOf(t, workload.AlexNet, 3)
+	sigA := MustForTask(taskA).Signature()
+	if len(sigA) != 16 {
+		t.Fatalf("Signature length = %d want 16: %q", len(sigA), sigA)
+	}
+	if got := MustForTask(taskA).Signature(); got != sigA {
+		t.Fatalf("Signature not stable across rebuilds: %q vs %q", got, sigA)
+	}
+
+	// A different layer shape factorizes differently, so the signature
+	// must change even though template and knob names match.
+	taskB := taskOf(t, workload.AlexNet, 4)
+	if sigB := MustForTask(taskB).Signature(); sigB == sigA {
+		t.Fatalf("different shapes share signature %q", sigA)
+	}
+
+	// The task *name* must not influence the signature: a config index
+	// means the same schedule regardless of what the workload is called.
+	renamed := taskA
+	renamed.Model = "some-other-net"
+	renamed.Index = 99
+	if got := MustForTask(renamed).Signature(); got != sigA {
+		t.Fatalf("renaming the task changed the signature: %q vs %q", got, sigA)
+	}
+}

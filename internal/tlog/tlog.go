@@ -159,12 +159,29 @@ func (r *RecordingMeasurer) MeasureBatch(task workload.Task, sp *space.Space, id
 // DeviceName identifies the wrapped device.
 func (r *RecordingMeasurer) DeviceName() string { return r.Inner.DeviceName() }
 
-// Best returns the best valid entry for a task name, or ok=false.
+// Best returns the best valid entry for a task name across every device
+// in the log, or ok=false. A mixed-device log can therefore return another
+// GPU's configuration: deployment lookups must use BestForDevice, which
+// filters to the device the config will actually run on.
 func Best(entries []Entry, taskName string) (Entry, bool) {
+	return bestWhere(entries, func(e Entry) bool { return e.TaskName == taskName })
+}
+
+// BestForDevice returns the best valid entry for a task name measured on
+// the given device, or ok=false. This is the deployment-safe variant: a
+// log shared by a fleet session holds entries from many GPUs, and a
+// configuration tuned for one SKU must never be served as another's best.
+func BestForDevice(entries []Entry, taskName, device string) (Entry, bool) {
+	return bestWhere(entries, func(e Entry) bool {
+		return e.TaskName == taskName && e.Device == device
+	})
+}
+
+func bestWhere(entries []Entry, match func(Entry) bool) (Entry, bool) {
 	best := Entry{}
 	found := false
 	for _, e := range entries {
-		if e.TaskName != taskName || !e.Valid {
+		if !e.Valid || !match(e) {
 			continue
 		}
 		if !found || e.GFLOPS > best.GFLOPS {
@@ -188,28 +205,37 @@ func GPUSeconds(entries []Entry) float64 {
 // transfer-learning corpus: each entry's configuration is re-featurized
 // through its task's space. Entries from unknown models are skipped.
 func ToTransferData(entries []Entry, kind workload.Kind) (*tuner.TransferData, error) {
-	spaces := map[string]*space.Space{}
-	tasks := map[string]workload.Task{}
+	// Tasks and spaces are cached by (Model, TaskIndex) — the pair that
+	// actually resolves them. Keying by TaskName would let two models with
+	// a same-named task featurize one model's config indices through the
+	// other's space.
+	type taskKey struct {
+		model string
+		index int
+	}
+	spaces := map[taskKey]*space.Space{}
+	tasks := map[taskKey]workload.Task{}
 	td := &tuner.TransferData{}
 	for _, e := range entries {
-		task, ok := tasks[e.TaskName]
+		key := taskKey{model: e.Model, index: e.TaskIndex}
+		task, ok := tasks[key]
 		if !ok {
 			var err error
 			task, err = workload.TaskByIndex(e.Model, e.TaskIndex)
 			if err != nil {
 				continue // foreign model; skip
 			}
-			tasks[e.TaskName] = task
+			tasks[key] = task
 			sp, err := space.ForTask(task)
 			if err != nil {
 				return nil, err
 			}
-			spaces[e.TaskName] = sp
+			spaces[key] = sp
 		}
 		if task.Kind != kind {
 			continue
 		}
-		sp := spaces[e.TaskName]
+		sp := spaces[key]
 		if e.ConfigIndex < 0 || e.ConfigIndex >= sp.Size() {
 			return nil, fmt.Errorf("tlog: entry %d config index %d out of %s space", e.Seq, e.ConfigIndex, e.TaskName)
 		}

@@ -153,6 +153,87 @@ func TestBestIgnoresInvalidAndOtherTasks(t *testing.T) {
 	}
 }
 
+// TestBestForDeviceFiltersMixedLog is the cross-device regression: a log
+// shared by a fleet session holds entries from several GPUs, and the
+// deployment lookup must never serve one SKU's best configuration as
+// another's. Best (the all-devices variant) keeps its historical global
+// behaviour.
+func TestBestForDeviceFiltersMixedLog(t *testing.T) {
+	entries := []Entry{
+		{TaskName: "a", Device: "titan-xp", Valid: true, GFLOPS: 50, ConfigIndex: 1},
+		{TaskName: "a", Device: "rtx-3090", Valid: true, GFLOPS: 900, ConfigIndex: 2},
+		{TaskName: "a", Device: "titan-xp", Valid: true, GFLOPS: 70, ConfigIndex: 3},
+		{TaskName: "a", Device: "titan-xp", Valid: false, GFLOPS: 999, ConfigIndex: 4},
+		{TaskName: "b", Device: "titan-xp", Valid: true, GFLOPS: 9999, ConfigIndex: 5},
+	}
+	best, ok := BestForDevice(entries, "a", "titan-xp")
+	if !ok || best.ConfigIndex != 3 || best.GFLOPS != 70 {
+		t.Fatalf("titan-xp best = %+v ok=%v, want config 3 @ 70 GFLOPS", best, ok)
+	}
+	best, ok = BestForDevice(entries, "a", "rtx-3090")
+	if !ok || best.ConfigIndex != 2 {
+		t.Fatalf("rtx-3090 best = %+v ok=%v", best, ok)
+	}
+	if _, ok := BestForDevice(entries, "a", "gtx-1050-ti"); ok {
+		t.Fatal("unmeasured device produced a best")
+	}
+	// The all-devices variant still answers globally.
+	if global, ok := Best(entries, "a"); !ok || global.ConfigIndex != 2 {
+		t.Fatalf("global best = %+v ok=%v", global, ok)
+	}
+}
+
+// TestToTransferDataCollidingTaskNames is the cache-keying regression:
+// entries from two models that share a TaskName string must each be
+// featurized through their own model's space. The old implementation
+// cached tasks and spaces by TaskName while resolving them by
+// (Model, TaskIndex), so whichever model appeared first hijacked the
+// featurization of the other.
+func TestToTransferDataCollidingTaskNames(t *testing.T) {
+	taskA, err := workload.TaskByIndex(workload.AlexNet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskB, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spA, spB := space.MustForTask(taskA), space.MustForTask(taskB)
+	const idxA, idxB = 11, 23
+	entries := []Entry{
+		{Model: taskA.Model, TaskIndex: taskA.Index, TaskName: "shared.conv",
+			ConfigIndex: idxA, Valid: true, GFLOPS: 100},
+		{Model: taskB.Model, TaskIndex: taskB.Index, TaskName: "shared.conv",
+			ConfigIndex: idxB, Valid: true, GFLOPS: 200},
+	}
+	td, err := ToTransferData(entries, workload.Conv2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Features) != 2 {
+		t.Fatalf("corpus size %d want 2", len(td.Features))
+	}
+	wantA, wantB := spA.FeaturesAt(idxA), spB.FeaturesAt(idxB)
+	if !equalFloats(td.Features[0], wantA) {
+		t.Fatalf("first entry featurized through the wrong space:\n got %v\nwant %v", td.Features[0], wantA)
+	}
+	if !equalFloats(td.Features[1], wantB) {
+		t.Fatalf("colliding-name entry featurized through the wrong space:\n got %v\nwant %v", td.Features[1], wantB)
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestToTransferDataReplaysLog(t *testing.T) {
 	task, err := workload.TaskByIndex(workload.AlexNet, 3)
 	if err != nil {

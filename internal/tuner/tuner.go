@@ -9,6 +9,7 @@ package tuner
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/measure"
@@ -43,6 +44,17 @@ type StepRecord struct {
 	GPUSeconds   float64
 }
 
+// Measured is one (configuration, performance) pair a session measured.
+type Measured struct {
+	Index  int64   `json:"index"`
+	GFLOPS float64 `json:"gflops"`
+}
+
+// TopMeasuredCap bounds how many of a session's best measurements the
+// Result retains (enough to pre-train a transferred surrogate, small
+// enough to store per cache entry).
+const TopMeasuredCap = 32
+
 // Result summarizes a tuning session.
 type Result struct {
 	TunerName    string
@@ -58,6 +70,11 @@ type Result struct {
 	History      []StepRecord
 	// InitialBatch records the first batch's measured GFLOPS (Fig. 4).
 	InitialBatch []float64
+	// TopMeasured holds the session's best valid measurements (best
+	// GFLOPS first, deduped by configuration, capped at TopMeasuredCap) —
+	// the donor samples a tuned-config cache stores for nearest-neighbor
+	// warm starts. Populated by Finish; Snapshot leaves it nil.
+	TopMeasured []Measured
 }
 
 // Tuner optimizes one task on one device within a budget.
@@ -76,6 +93,7 @@ type Session struct {
 	g      *rng.RNG
 
 	res          Result
+	measured     map[int64]float64 // best valid GFLOPS seen per config
 	sinceImprove int
 	stopped      bool
 }
@@ -85,7 +103,8 @@ func NewSession(name string, task workload.Task, sp *space.Space, m measure.Meas
 	if err := budget.validate(); err != nil {
 		return nil, err
 	}
-	s := &Session{task: task, sp: sp, m: m, budget: budget, g: g}
+	s := &Session{task: task, sp: sp, m: m, budget: budget, g: g,
+		measured: map[int64]float64{}}
 	s.res.TunerName = name
 	s.res.TaskName = task.Name()
 	s.res.BestIndex = -1
@@ -161,6 +180,9 @@ func (s *Session) MeasureBatch(idxs []int64) ([]gpusim.Result, error) {
 			s.res.Invalid++
 			continue
 		}
+		if r.GFLOPS > s.measured[idxs[i]] {
+			s.measured[idxs[i]] = r.GFLOPS
+		}
 		if r.GFLOPS > s.res.BestGFLOPS {
 			s.res.BestGFLOPS = r.GFLOPS
 			s.res.BestTimeMS = r.TimeMS
@@ -207,9 +229,25 @@ func (s *Session) RecordInitialBatch(results []gpusim.Result) {
 	}
 }
 
-// Finish returns a copy of the session result.
+// Finish returns a copy of the session result, materializing TopMeasured
+// from the per-config bests (collect-then-sort keeps it deterministic
+// regardless of map iteration order).
 func (s *Session) Finish() *Result {
 	out := s.res
+	top := make([]Measured, 0, len(s.measured))
+	for idx, v := range s.measured {
+		top = append(top, Measured{Index: idx, GFLOPS: v})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].GFLOPS != top[j].GFLOPS { //glint:ignore floateq -- total-order tiebreak for sorting, not a tolerance check
+			return top[i].GFLOPS > top[j].GFLOPS
+		}
+		return top[i].Index < top[j].Index
+	})
+	if len(top) > TopMeasuredCap {
+		top = top[:TopMeasuredCap]
+	}
+	out.TopMeasured = top
 	return &out
 }
 
