@@ -7,9 +7,11 @@
 //
 //	file:line: [rule] message
 //
-// and any finding makes the process exit 1 (2 on load/usage errors). A
-// finding is waived by an inline directive on the offending line or the
-// line above it:
+// (or as a JSON array with -format json, or as GitHub workflow annotations
+// with -format github). Exit codes are part of the contract: 0 means the
+// module is clean, 1 means findings, 2 means glint itself failed (usage,
+// load, or type-check error). A finding is waived by an inline directive on
+// the offending line or the line above it:
 //
 //	//glint:ignore rule -- reason
 //
@@ -17,23 +19,42 @@
 //
 // Usage:
 //
-//	glint [-rules determinism,rawgo,...] [-list] [dir]
+//	glint [-rules determinism,rawgo,...] [-format text|json|github] [-v] [-list] [dir]
 //
 // dir defaults to the current directory; glint walks up from it to the
-// enclosing go.mod and analyzes the whole module.
+// enclosing go.mod and analyzes the whole module. -v reports load time and
+// per-rule wall time on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/analysis"
 )
 
+// jsonFinding is the stable wire form of one finding, consumed by CI (the
+// uploaded artifact and the annotation step).
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	rules := flag.String("rules", "", "comma-separated rules to run (default: all)")
+	format := flag.String("format", "text", "output format: text, json, or github (workflow annotations)")
+	verbose := flag.Bool("v", false, "report load time and per-rule wall time on stderr")
 	list := flag.Bool("list", false, "list available rules and exit")
 	flag.Parse()
 
@@ -41,7 +62,13 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "glint: unknown format %q (want text, json, or github)\n", *format)
+		return 2
 	}
 
 	dir := "."
@@ -51,29 +78,70 @@ func main() {
 	root, err := findModuleRoot(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "glint:", err)
-		os.Exit(2)
+		return 2
 	}
 	analyzers, err := analysis.ByName(*rules)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "glint:", err)
-		os.Exit(2)
+		return 2
 	}
+	loadStart := time.Now()
 	pkgs, err := analysis.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "glint:", err)
-		os.Exit(2)
+		return 2
 	}
-	findings := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, f := range findings {
-		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			f.Pos.Filename = rel
+	loadTime := time.Since(loadStart)
+	findings, times := analysis.RunAnalyzersTimed(pkgs, analyzers)
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
 		}
-		fmt.Println(f)
+	}
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "glint: loaded %d packages in %v\n", len(pkgs), loadTime.Round(time.Millisecond))
+		for _, rt := range times {
+			fmt.Fprintf(os.Stderr, "glint: rule %-12s %v\n", rt.Name, rt.Elapsed.Round(time.Microsecond))
+		}
+	}
+
+	switch *format {
+	case "json":
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{File: f.Pos.Filename, Line: f.Pos.Line, Rule: f.Rule, Message: f.Msg})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "glint:", err)
+			return 2
+		}
+	case "github":
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,title=glint %s::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Rule, escapeAnnotation(f.Msg))
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "glint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// escapeAnnotation encodes the characters the workflow-command parser
+// treats specially in annotation messages.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func findModuleRoot(dir string) (string, error) {

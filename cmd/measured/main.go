@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,7 +98,9 @@ func main() {
 		srv.InFlight())
 	done := make(chan struct{})
 	go func() { //glint:ignore rawgo -- shutdown drain waiter, not a search path; must race the second signal
-		_ = srv.DrainAndClose(*drain) // exiting either way; drain errors are cosmetic
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		_ = srv.DrainAndClose(dctx) // exiting either way; drain errors are cosmetic
 		close(done)
 	}()
 	select {

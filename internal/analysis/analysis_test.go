@@ -152,6 +152,79 @@ func TestIgnoreFixture(t *testing.T) {
 	checkFixture(t, "testdata/ignore", fixturePath+"/internal/util")
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "testdata/ctxflow", fixturePath+"/internal/measure")
+}
+
+// TestCtxFlowGate proves the rule applies only in the context-scoped
+// packages.
+func TestCtxFlowGate(t *testing.T) {
+	checkSilent(t, "testdata/ctxflow", fixturePath+"/internal/codegen", CtxFlow)
+}
+
+func TestLeakCheckFixture(t *testing.T) {
+	checkFixture(t, "testdata/leakcheck", fixturePath+"/internal/fleet")
+}
+
+// TestLeakCheckGate proves the rule applies only inside the pool layers
+// (outside them rawgo already forbids the goroutine altogether).
+func TestLeakCheckGate(t *testing.T) {
+	checkSilent(t, "testdata/leakcheck", fixturePath+"/internal/codegen", LeakCheck)
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	checkFixture(t, "testdata/lockcheck", fixturePath+"/internal/tlog")
+}
+
+// TestLockCheckGate proves the rule applies only to the stateful
+// lock-scoped packages.
+func TestLockCheckGate(t *testing.T) {
+	checkSilent(t, "testdata/lockcheck", fixturePath+"/internal/codegen", LockCheck)
+}
+
+func TestAllocPathFixture(t *testing.T) {
+	checkFixture(t, "testdata/allocpath", fixturePath+"/internal/gbt")
+}
+
+// TestAllocPathGate proves the rule applies only to the hot packages.
+func TestAllocPathGate(t *testing.T) {
+	checkSilent(t, "testdata/allocpath", fixturePath+"/internal/codegen", AllocPath)
+}
+
+// TestSeededDefectCorpus replays one known past bug shape per new
+// analyzer — defects that reached review (or production) before the rule
+// existed. Each fixture is pinned under the import path whose contract it
+// violated.
+func TestSeededDefectCorpus(t *testing.T) {
+	cases := []struct{ dir, path string }{
+		{"testdata/seeded/drainleak", fixturePath + "/internal/measure"},
+		{"testdata/seeded/retryloop", fixturePath + "/internal/fleet"},
+		{"testdata/seeded/lockheld", fixturePath + "/internal/tlog"},
+		{"testdata/seeded/fmtscore", fixturePath + "/internal/acq"},
+	}
+	for _, c := range cases {
+		checkFixture(t, c.dir, c.path)
+	}
+}
+
+// TestRunAnalyzersTimed checks the timing surface glint -v prints: one
+// entry per analyzer, in suite order.
+func TestRunAnalyzersTimed(t *testing.T) {
+	pkg, err := LoadDir("testdata/rawgo", fixturePath+"/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, times := RunAnalyzersTimed([]*Package{pkg}, All())
+	if len(times) != len(All()) {
+		t.Fatalf("got %d rule times, want %d", len(times), len(All()))
+	}
+	for i, a := range All() {
+		if times[i].Name != a.Name {
+			t.Fatalf("times[%d] = %q, want %q", i, times[i].Name, a.Name)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
 	if err != nil || len(all) != len(All()) {

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation plumbing in the packages that talk to the
+// outside world (Scope.Ctx: fleet, measure, rpc, cache). A long-running
+// multi-tenant server can only shed abandoned work if every blocking
+// operation sits under a caller-supplied context, so:
+//
+//  1. context.Background() and context.TODO() are forbidden — fresh roots
+//     belong in package main, tests, and explicitly waived compat shims
+//     (interface adapters whose ctx-less form is part of a frozen API);
+//  2. blocking operations — dials (net.Dial*, net.Dialer methods),
+//     synchronous RPC calls ((*rpc.Client).Call), time.Sleep, bare timer
+//     waits, and channel sends/receives outside a select — must appear in
+//     a function that threads a context.Context parameter (its own or an
+//     enclosing closure's).
+//
+// Channel operations on channels declared in the same function body are
+// exempt: a local semaphore or reply channel is created, bounded, and
+// drained within one call frame, so there is nothing for a context to
+// cancel. Select statements are exempt as a whole — a select either has a
+// cancel/timeout arm or its absence is a leakcheck/lockcheck problem, not
+// a plumbing one.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "require context.Context plumbing around blocking operations in fleet/measure/rpc/cache; confine context.Background to main, tests, and waived shims",
+	Run:  runCtxFlow,
+}
+
+// blockingNetFuncs are the package-level net entry points that block on
+// the wire.
+var blockingNetFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialIP": true, "DialTCP": true,
+	"DialUDP": true, "DialUnix": true,
+}
+
+func runCtxFlow(p *Pass) {
+	if !inScope(p.Pkg.Path, Scope.Ctx) {
+		return
+	}
+	if p.Pkg.Types.Name() == "main" {
+		return // command roots may build their own contexts
+	}
+	for _, file := range p.Pkg.Files {
+		exempt := selectCommNodes(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			v := &ctxVisitor{pass: p, exempt: exempt, fd: fd, hasCtx: []bool{funcTypeHasCtx(p, fd.Type)}}
+			ast.Walk(v, fd.Body)
+		}
+	}
+}
+
+// selectCommNodes marks every node under a select communication clause:
+// the comm op itself (send or receive, including a time.After bounding
+// the wait) is the select's business, not ctxflow's.
+func selectCommNodes(file *ast.File) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if m != nil {
+					out[m] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// ctxVisitor walks one function declaration, tracking whether the current
+// closure chain has a context.Context parameter in scope.
+type ctxVisitor struct {
+	pass   *Pass
+	exempt map[ast.Node]bool
+	fd     *ast.FuncDecl
+	hasCtx []bool // one entry per enclosing func (decl + literals)
+}
+
+func (v *ctxVisitor) ctxInScope() bool {
+	for _, has := range v.hasCtx {
+		if has {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *ctxVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		return nil
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		inner := &ctxVisitor{pass: v.pass, exempt: v.exempt, fd: v.fd,
+			hasCtx: append(append([]bool(nil), v.hasCtx...), funcTypeHasCtx(v.pass, n.Type))}
+		ast.Walk(inner, n.Body)
+		return nil
+	case *ast.CallExpr:
+		v.checkCall(n)
+	case *ast.SendStmt:
+		if !v.exempt[n] && !v.ctxInScope() && !v.localChan(n.Chan) {
+			v.pass.Reportf(n.Arrow, "channel send outside a select in a function without a context.Context parameter; thread a ctx so the wait is cancellable")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW && !v.exempt[n] && !v.ctxInScope() && !v.localChan(n.X) {
+			v.pass.Reportf(n.OpPos, "channel receive outside a select in a function without a context.Context parameter; thread a ctx so the wait is cancellable")
+		}
+	}
+	return v
+}
+
+// checkCall flags context roots and ctx-less blocking calls.
+func (v *ctxVisitor) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := v.pass.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "context":
+		if sig != nil && sig.Recv() == nil && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			v.pass.Reportf(call.Pos(), "context.%s() starts a fresh root; accept the caller's ctx instead (fresh roots are confined to package main, tests, and waived compat shims)", fn.Name())
+		}
+	case "time":
+		if sig != nil && sig.Recv() == nil {
+			switch fn.Name() {
+			case "Sleep":
+				if !v.ctxInScope() {
+					v.pass.Reportf(call.Pos(), "time.Sleep in a function without a context.Context parameter; thread a ctx and wait in a select with ctx.Done()")
+				}
+			case "After", "Tick":
+				if !v.exempt[call] && !v.ctxInScope() {
+					v.pass.Reportf(call.Pos(), "time.%s wait outside a select in a function without a context.Context parameter; thread a ctx so the wait is cancellable", fn.Name())
+				}
+			}
+		}
+	case "net":
+		if !v.ctxInScope() && (sig != nil && sig.Recv() == nil && blockingNetFuncs[fn.Name()] ||
+			sig != nil && sig.Recv() != nil && fn.Name() == "Dial" && typePathIs(sig.Recv().Type(), "net", "Dialer")) {
+			v.pass.Reportf(call.Pos(), "net dial in a function without a context.Context parameter; use (net.Dialer).DialContext with a threaded ctx")
+		}
+	case "net/rpc":
+		if !v.ctxInScope() && sig != nil && sig.Recv() != nil && fn.Name() == "Call" &&
+			typePathIs(sig.Recv().Type(), "net/rpc", "Client") {
+			v.pass.Reportf(call.Pos(), "synchronous rpc.Client.Call in a function without a context.Context parameter; issue Go() and select on ctx.Done()")
+		}
+	}
+}
+
+// localChan reports whether the channel expression resolves to a variable
+// declared inside the body of the function declaration being analyzed
+// (not a parameter): a purely local channel is created, bounded and
+// drained in one frame.
+func (v *ctxVisitor) localChan(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := identObj(v.pass, id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= v.fd.Body.Pos() && obj.Pos() <= v.fd.Body.End()
+}
+
+// funcTypeHasCtx reports whether the function type declares a
+// context.Context parameter.
+func funcTypeHasCtx(p *Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := p.Pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return typePathIs(t, "context", "Context")
+}
+
+// typePathIs reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func typePathIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}

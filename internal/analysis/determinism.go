@@ -6,23 +6,12 @@ import (
 	"go/types"
 )
 
-// deterministicPkgs are the packages bound by the PR 2 determinism
-// contract: byte-identical results across 1..N workers for a fixed seed.
-// Wall-clock reads and the global math/rand stream would silently break
-// that contract, so both are forbidden here; internal/rng is the one
-// sanctioned seam to math/rand, and time injection happens through hooks
-// such as measure.Config.Now outside these packages.
-var deterministicPkgs = []string{
-	"internal/anneal",
-	"internal/gbt",
-	"internal/sampler",
-	"internal/acq",
-	"internal/nn",
-	"internal/rng",
-	"internal/prior",
-	"internal/space",
-	"internal/telemetry",
-}
+// The deterministic package list lives in Scope.Deterministic (config.go):
+// wall-clock reads and the global math/rand stream would silently break
+// the byte-identical-across-workers contract, so both are forbidden
+// there; Scope.RNGSeam is the one sanctioned seam to math/rand, and time
+// injection happens through hooks such as measure.Config.Now outside
+// these packages.
 
 // wallClockFuncs are the package time entry points that read or depend on
 // the wall clock.
@@ -60,18 +49,11 @@ var Determinism = &Analyzer{
 }
 
 func runDeterminism(p *Pass) {
-	inScope := false
-	for _, suffix := range deterministicPkgs {
-		if hasSuffixPath(p.Pkg.Path, suffix) {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+	if !inScope(p.Pkg.Path, Scope.Deterministic) {
 		return
 	}
-	isRNGSeam := hasSuffixPath(p.Pkg.Path, "internal/rng")
-	isClockSeam := hasSuffixPath(p.Pkg.Path, "internal/telemetry")
+	isRNGSeam := hasSuffixPath(p.Pkg.Path, Scope.RNGSeam)
+	isClockSeam := hasSuffixPath(p.Pkg.Path, Scope.ClockSeam)
 	for _, file := range p.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {

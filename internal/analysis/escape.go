@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The escape harness cross-validates allocpath's static findings with the
+// compiler's own escape analysis: `go build -gcflags=<pkg>=-m` prints, for
+// every value the compiler moves to the heap, a diagnosis line. Diffing
+// those lines against a checked-in allowlist (testdata/escape_allowlist.txt)
+// turns "a refactor quietly added a heap allocation to a scoring path" into
+// a test failure, with the allowlist as the reviewed budget. Keys drop
+// line and column — "file.go: msg" — so unrelated edits shuffle no entries.
+
+// escapeLine matches one compiler diagnosis, capturing file and message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):\d+:\d+: (.+)$`)
+
+// CollectEscapes compiles each listed package (paths relative to the module
+// root, e.g. "internal/gbt") with -gcflags=-m and returns the sorted,
+// deduplicated "file.go: message" keys of every heap-escape diagnosis in
+// those packages' own files. Inlining chatter and diagnoses attributed to
+// other packages' files (generic instantiation noise) are dropped.
+func CollectEscapes(root, modPath string, pkgs []string) ([]string, error) {
+	keys := map[string]bool{}
+	for _, rel := range pkgs {
+		args := []string{"build", "-gcflags=" + modPath + "/" + rel + "=-m", "./" + rel}
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+				continue
+			}
+			m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil || !strings.HasPrefix(m[1], rel+"/") {
+				continue
+			}
+			keys[m[1]+": "+m[2]] = true
+		}
+	}
+	out := make([]string, 0, len(keys))
+	for k := range keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DiffEscapes splits got against the allowlist: fresh escapes (regressions
+// to review) and stale allowlist entries (fixed escapes whose budget line
+// should be deleted).
+func DiffEscapes(got, allowed []string) (fresh, stale []string) {
+	a := map[string]bool{}
+	for _, k := range allowed {
+		a[k] = true
+	}
+	g := map[string]bool{}
+	for _, k := range got {
+		g[k] = true
+		if !a[k] {
+			fresh = append(fresh, k)
+		}
+	}
+	for _, k := range allowed {
+		if !g[k] {
+			stale = append(stale, k)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const escapeAllowlist = "testdata/escape_allowlist.txt"
+
+// TestHotPathEscapes diffs the compiler's escape analysis over the hot
+// packages (Scope.Hot) against the checked-in allowlist. A fresh escape is
+// a failure: either hoist the allocation (allocpath usually points at the
+// construct) or, if it is deliberate, add the key to the allowlist with the
+// review. Regenerate wholesale with
+//
+//	GLIMPSE_ESCAPE_REWRITE=1 go test ./internal/analysis -run TestHotPathEscapes
+func TestHotPathEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build; run without -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectEscapes(root, modPath, Scope.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no escape diagnoses at all; the -m harness is broken")
+	}
+	if os.Getenv("GLIMPSE_ESCAPE_REWRITE") != "" {
+		data := "# Reviewed heap escapes on the hot scoring paths (internal/analysis escape harness).\n" +
+			"# One \"file.go: message\" key per line; regenerate with GLIMPSE_ESCAPE_REWRITE=1.\n" +
+			strings.Join(got, "\n") + "\n"
+		if err := os.WriteFile(escapeAllowlist, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", escapeAllowlist, len(got))
+		return
+	}
+	allowed, err := readEscapeAllowlist(escapeAllowlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := DiffEscapes(got, allowed)
+	for _, k := range fresh {
+		t.Errorf("new heap escape on a hot path: %s\n(hoist it, or add to %s with review)", k, escapeAllowlist)
+	}
+	// Stale entries are informational: compiler upgrades reword messages and
+	// genuine fixes both land here; prune on the next rewrite.
+	for _, k := range stale {
+		t.Logf("stale allowlist entry (escape no longer reported): %s", k)
+	}
+}
+
+func readEscapeAllowlist(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}

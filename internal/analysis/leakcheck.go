@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck requires every `go` statement in the pool layers (Scope.Pool
+// — the only packages rawgo lets spawn goroutines at all) to have a
+// provable join or cancel path, so a long-running server cannot
+// accumulate leak-by-construction workers. A goroutine is considered
+// joined when any of these shapes is visible:
+//
+//   - WaitGroup pairing: `wg.Add(n)` precedes the `go` statement in the
+//     same function and the goroutine body calls `wg.Done()` (usually
+//     deferred) on the same WaitGroup;
+//   - ctx binding: the body receives from `<-ctx.Done()` for some
+//     context.Context, so cancellation terminates it;
+//   - done-channel: the body receives from a channel (a quit/done wait);
+//   - channel drain: the body ranges over a channel, terminating when the
+//     producer closes it;
+//   - bounded handoff: the body sends on a channel created in the
+//     spawning function with nonzero buffer capacity, the
+//     result-collector idiom where the buffer guarantees the send (and
+//     hence the goroutine) completes.
+//
+// Anything else — accept loops bounded only by a listener close, fire-
+// and-forget serve loops — must carry a //glint:ignore leakcheck waiver
+// stating what bounds the goroutine's lifetime.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "require a provable join/cancel path (WaitGroup pairing, ctx.Done, done-channel, channel drain) for every goroutine in the pool layers",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(p *Pass) {
+	if !inScope(p.Pkg.Path, Scope.Pool) {
+		return
+	}
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := goBody(p, g, decls)
+				if body == nil {
+					p.Reportf(g.Pos(), "goroutine body is not visible in this package; spawn a literal or package-local function so its join path can be checked")
+					return true
+				}
+				if !goroutineJoined(p, fd, g, body) {
+					p.Reportf(g.Pos(), "goroutine has no provable join or cancel path (WaitGroup Add/Done pairing, ctx.Done receive, done-channel, or range over a closed channel); a leaked worker outlives its session")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// goBody resolves the spawned function's body: a literal's block, or the
+// declaration of a package-local named function.
+func goBody(p *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[p.Pkg.Info.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[p.Pkg.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// goroutineJoined applies the join-path heuristics documented on LeakCheck.
+func goroutineJoined(p *Pass, enclosing *ast.FuncDecl, g *ast.GoStmt, body *ast.BlockStmt) bool {
+	// WaitGroup pairing: Add before the go statement, Done in the body.
+	added := map[string]bool{}
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if path, ok := waitGroupMethod(p, call, "Add"); ok {
+			added[path] = true
+		}
+		return true
+	})
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if path, ok := waitGroupMethod(p, n, "Done"); ok && added[path] {
+				joined = true
+			}
+		case *ast.UnaryExpr:
+			// Any receive counts: <-ctx.Done(), <-quit, <-timer.C.
+			if n.Op == token.ARROW && isChanExpr(p, n.X) {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(p, n.X) {
+				joined = true
+			}
+		case *ast.SendStmt:
+			if localBufferedChan(p, enclosing, n.Chan) {
+				joined = true
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// waitGroupMethod reports whether call is `<path>.<name>()` on a
+// sync.WaitGroup, returning the rendered receiver path.
+func waitGroupMethod(p *Pass, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !typePathIs(sig.Recv().Type(), "sync", "WaitGroup") {
+		return "", false
+	}
+	return exprPath(sel.X), true
+}
+
+// exprPath renders a selector chain of plain identifiers ("s.mu",
+// "swg") for textual matching; non-ident components yield "".
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	}
+	return ""
+}
+
+func isChanExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// localBufferedChan reports whether e names a channel declared in the
+// enclosing function via make(chan T, n) with a nonzero buffer.
+func localBufferedChan(p *Pass, enclosing *ast.FuncDecl, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := identObj(p, id)
+	if obj == nil || obj.Pos() < enclosing.Body.Pos() || obj.Pos() > enclosing.Body.End() {
+		return false
+	}
+	buffered := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || buffered {
+			return !buffered
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || identObj(p, lid) != obj || i >= len(assign.Rhs) {
+				continue
+			}
+			call, ok := assign.Rhs[i].(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fid, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := p.Pkg.Info.Uses[fid].(*types.Builtin); ok && b.Name() == "make" {
+					if !isZeroConst(p, call.Args[1]) {
+						buffered = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return buffered
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -40,6 +41,27 @@ type Loader struct {
 	ctx     build.Context
 }
 
+// stdImporter is the process-wide stdlib source importer. Type-checking
+// $GOROOT/src once costs a couple of seconds; sharing the result across
+// every Loader means the fixture tests and the repo-wide run pay it once
+// instead of once per Loader. The importer caches internally but is not
+// safe for concurrent use, hence the mutex. Standard-library positions
+// land in stdFset rather than a Loader's own FileSet — harmless, since
+// analyzers only render positions of module files they parsed themselves.
+var (
+	stdMu   sync.Mutex
+	stdFset = token.NewFileSet()
+	stdImp  = importer.ForCompiler(stdFset, "source", nil)
+)
+
+type lockedStdImporter struct{}
+
+func (lockedStdImporter) Import(path string) (*types.Package, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return stdImp.Import(path)
+}
+
 // NewLoader returns a Loader rooted at the module directory root. modPath
 // may be empty, in which case it is read from root/go.mod.
 func NewLoader(root, modPath string) (*Loader, error) {
@@ -53,19 +75,18 @@ func NewLoader(root, modPath string) (*Loader, error) {
 			return nil, err
 		}
 	}
-	fset := token.NewFileSet()
 	// Disable cgo so the source importer never needs the C toolchain and
 	// always selects the pure-Go stdlib variants (net, os/user, ...).
 	ctx := build.Default
 	ctx.CgoEnabled = false
 	build.Default.CgoEnabled = false
 	return &Loader{
-		Fset:    fset,
+		Fset:    token.NewFileSet(),
 		modPath: modPath,
 		root:    abs,
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
-		std:     importer.ForCompiler(fset, "source", nil),
+		std:     lockedStdImporter{},
 		ctx:     ctx,
 	}, nil
 }

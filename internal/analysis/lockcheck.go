@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces the mutex discipline of the stateful layers
+// (Scope.Lock: the telemetry metric registry, the tuned-config cache
+// store, the fleet scheduler/endpoint pool, measure, tlog, parallel):
+//
+//  1. no lock value copies — a method or function that takes a struct
+//     transitively containing a sync.Mutex/RWMutex by value operates on a
+//     copy of the lock, silently splitting the critical section;
+//  2. every mu.Lock()/RLock() must have a matching Unlock()/RUnlock() on
+//     the same receiver path somewhere in the same function (deferred or
+//     inline) — a lock whose release lives in a different function is
+//     unauditable and one early return away from a deadlock;
+//  3. no blocking operation while a lock is held: channel sends and
+//     receives, selects without a default, time.Sleep, WaitGroup.Wait,
+//     dials and synchronous RPC calls between Lock and Unlock stall every
+//     other goroutine contending for the lock (and EventSink-style
+//     callbacks invoked under the lock are documented as must-not-block
+//     for the same reason).
+//
+// The held-lock scan is a conservative statement-order walk: state does
+// not escape nested blocks, and function literals start with no locks
+// held, so the collect-under-lock / operate-after-unlock idiom passes
+// clean.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "forbid lock value copies, Lock without same-function Unlock, and blocking operations while a mutex is held",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(p *Pass) {
+	if !inScope(p.Pkg.Path, Scope.Lock) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(p, fd)
+			if fd.Body != nil {
+				checkLockPairing(p, fd)
+				walkHeld(p, fd.Body, map[string]bool{})
+			}
+		}
+	}
+}
+
+// checkLockCopies flags by-value receivers and parameters whose struct
+// type transitively contains a mutex.
+func checkLockCopies(p *Pass, fd *ast.FuncDecl) {
+	check := func(field *ast.Field, what string) {
+		tv, ok := p.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			return
+		}
+		if containsMutex(tv.Type, 0) {
+			p.Reportf(field.Pos(), "%s passes a lock-bearing struct by value; the copy has its own mutex and the critical section silently splits — use a pointer", what)
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			check(field, "receiver")
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		check(field, "parameter")
+	}
+}
+
+// containsMutex reports whether t transitively embeds a sync.Mutex or
+// sync.RWMutex (bounded depth to stay clear of recursive types).
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	if typePathIs(t, "sync", "Mutex") || typePathIs(t, "sync", "RWMutex") {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if containsMutex(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexMethod reports whether call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex, returning the rendered receiver path and method.
+func mutexMethod(p *Pass, call *ast.CallExpr) (path, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	if !typePathIs(sig.Recv().Type(), "sync", "Mutex") && !typePathIs(sig.Recv().Type(), "sync", "RWMutex") {
+		return "", "", false
+	}
+	return exprPath(sel.X), sel.Sel.Name, true
+}
+
+// checkLockPairing requires an Unlock/RUnlock for every locked receiver
+// path somewhere in the same function subtree (closures included, so a
+// deferred func(){ mu.Unlock() }() counts).
+func checkLockPairing(p *Pass, fd *ast.FuncDecl) {
+	type lockSite struct {
+		pos    token.Pos
+		method string
+	}
+	locks := map[string]lockSite{}
+	unlocked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, method, ok := mutexMethod(p, call)
+		if !ok || path == "" {
+			return true
+		}
+		switch method {
+		case "Lock", "RLock":
+			if _, seen := locks[path]; !seen {
+				locks[path] = lockSite{pos: call.Pos(), method: method}
+			}
+		case "Unlock", "RUnlock":
+			unlocked[path] = true
+		}
+		return true
+	})
+	for path, site := range locks {
+		if !unlocked[path] {
+			p.Reportf(site.pos, "%s.%s() without a same-function Unlock; release the lock where it is taken (defer) so no return path can leave it held", path, site.method)
+		}
+	}
+}
+
+// walkHeld is the conservative statement-order scan for blocking
+// operations under a held lock. held maps receiver paths to "locked";
+// nested blocks get a copy, so their lock-state changes stay local.
+func walkHeld(p *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if path, method, ok := mutexMethod(p, call); ok && path != "" {
+					switch method {
+					case "Lock", "RLock":
+						held[path] = true
+					case "Unlock", "RUnlock":
+						delete(held, path)
+					}
+					continue
+				}
+			}
+			checkBlockingUnder(p, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to return; nothing to
+			// update. A deferred closure runs with no locks held.
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				walkHeld(p, fl.Body, map[string]bool{})
+			}
+		case *ast.BlockStmt:
+			walkHeld(p, s, copyHeld(held))
+		case *ast.IfStmt:
+			checkBlockingUnder(p, s.Cond, held)
+			walkHeld(p, s.Body, copyHeld(held))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					walkHeld(p, e, copyHeld(held))
+				case *ast.IfStmt:
+					walkHeld(p, &ast.BlockStmt{List: []ast.Stmt{e}}, copyHeld(held))
+				}
+			}
+		case *ast.ForStmt:
+			walkHeld(p, s.Body, copyHeld(held))
+		case *ast.RangeStmt:
+			walkHeld(p, s.Body, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					walkHeld(p, &ast.BlockStmt{List: cc.Body}, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					walkHeld(p, &ast.BlockStmt{List: cc.Body}, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				p.Reportf(s.Pos(), "select without default while %s is held; the wait stalls every goroutine contending for the lock", anyHeld(held))
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					walkHeld(p, &ast.BlockStmt{List: cc.Body}, copyHeld(held))
+				}
+			}
+		default:
+			checkBlockingUnder(p, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func anyHeld(held map[string]bool) string {
+	best := ""
+	for path := range held {
+		if best == "" || path < best {
+			best = path
+		}
+	}
+	return best
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlockingUnder flags blocking operations inside one statement (or
+// expression) while locks are held. A nested function literal executes
+// later with its own lock state, so its body restarts the scan with
+// nothing held.
+func checkBlockingUnder(p *Pass, n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			walkHeld(p, m.Body, map[string]bool{})
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				p.Reportf(m.Arrow, "channel send while %s is held; move the send outside the critical section", anyHeld(held))
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && len(held) > 0 {
+				p.Reportf(m.OpPos, "channel receive while %s is held; move the wait outside the critical section", anyHeld(held))
+			}
+		case *ast.CallExpr:
+			if name, bad := blockingCallName(p, m); bad && len(held) > 0 {
+				p.Reportf(m.Pos(), "%s while %s is held; blocking under a lock stalls every contender", name, anyHeld(held))
+			}
+		}
+		return true
+	})
+}
+
+// blockingCallName recognizes the known-blocking stdlib calls.
+func blockingCallName(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" && sig != nil && sig.Recv() == nil {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if fn.Name() == "Wait" && sig != nil && sig.Recv() != nil &&
+			typePathIs(sig.Recv().Type(), "sync", "WaitGroup") {
+			return "sync.WaitGroup.Wait", true
+		}
+	case "net":
+		if sig != nil && sig.Recv() == nil && blockingNetFuncs[fn.Name()] {
+			return "net." + fn.Name(), true
+		}
+	case "net/rpc":
+		if fn.Name() == "Call" && sig != nil && sig.Recv() != nil &&
+			typePathIs(sig.Recv().Type(), "net/rpc", "Client") {
+			return "rpc.Client.Call", true
+		}
+	}
+	return "", false
+}

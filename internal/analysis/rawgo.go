@@ -2,34 +2,25 @@ package analysis
 
 import "go/ast"
 
-// poolPkgs are the layers allowed to spawn goroutines directly: the worker
-// pool itself, the fleet/measurement orchestrators whose concurrency is
-// the whole point of the package, and the telemetry layer (its debug HTTP
-// server runs a background serve loop).
-var poolPkgs = []string{
-	"internal/parallel",
-	"internal/fleet",
-	"internal/measure",
-	"internal/telemetry",
-}
-
-// RawGo flags `go` statements outside the pool layers. Search hot paths
-// must use internal/parallel, which bounds fan-out to the configured
-// worker count and keeps reductions ordered (the determinism contract);
-// a raw goroutine sidesteps both. Legitimate exceptions — RPC serve
-// loops, signal handlers, shutdown drains — carry a //glint:ignore rawgo
-// annotation with the reason.
+// RawGo flags `go` statements outside the pool layers (Scope.Pool: the
+// worker pool itself, the fleet/measurement orchestrators whose
+// concurrency is the whole point of the package, and the telemetry
+// layer's debug serve loop). Search hot paths must use internal/parallel,
+// which bounds fan-out to the configured worker count and keeps
+// reductions ordered (the determinism contract); a raw goroutine
+// sidesteps both. Legitimate exceptions — RPC serve loops, signal
+// handlers, shutdown drains — carry a //glint:ignore rawgo annotation
+// with the reason. Inside the pool layers the leakcheck rule takes over:
+// being allowed to spawn means being obliged to join.
 var RawGo = &Analyzer{
 	Name: "rawgo",
-	Doc:  "forbid raw goroutines outside internal/parallel, internal/fleet, internal/measure, and internal/telemetry",
+	Doc:  "forbid raw goroutines outside the pool layers (internal/parallel, fleet, measure, telemetry)",
 	Run:  runRawGo,
 }
 
 func runRawGo(p *Pass) {
-	for _, suffix := range poolPkgs {
-		if hasSuffixPath(p.Pkg.Path, suffix) {
-			return
-		}
+	if inScope(p.Pkg.Path, Scope.Pool) {
+		return
 	}
 	for _, file := range p.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

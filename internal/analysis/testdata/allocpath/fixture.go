@@ -1,0 +1,91 @@
+// Fixture for the allocpath rule: per-iteration allocation constructs on
+// the paths reachable from hot scoring entry points (Predict*, Score*,
+// Infer*, Select*, Run*, Sample*, Forward*).
+package gbt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Predict is a hot root by name.
+func Predict(xs []float64) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%f", x)) // want allocpath
+	}
+	return out
+}
+
+// Score accumulates without preallocating.
+func Score(xs []float64) int {
+	var acc []float64
+	for _, x := range xs {
+		acc = append(acc, x*2) // want allocpath
+	}
+	return len(acc)
+}
+
+// SelectBest shows the clean shapes: strconv instead of fmt, append into a
+// slice made with explicit capacity.
+func SelectBest(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, strconv.Itoa(i)) // ok
+	}
+	return out
+}
+
+// Run reaches the allocation only through a package-local call.
+func Run(n int) int {
+	return runInner(n)
+}
+
+func runInner(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(fmt.Sprint(i)) // want allocpath
+	}
+	return total
+}
+
+// coldLoop is reachable from no hot root; the same construct passes.
+func coldLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(fmt.Sprint(i)) // ok: not on a scoring path
+	}
+	return total
+}
+
+// SampleClosures materializes a closure per iteration.
+func SampleClosures(n int) []func() int {
+	fs := make([]func() int, 0, n)
+	for i := 0; i < n; i++ {
+		fs = append(fs, func() int { return i }) // want allocpath
+	}
+	return fs
+}
+
+// ForwardIIFE calls a literal on the spot — execution, not storage.
+func ForwardIIFE(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += func() int { return i * i }() // ok: immediately invoked
+	}
+	return total
+}
+
+// InferErrors exits through fmt on the error path only.
+func InferErrors(xs []float64) error {
+	for _, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative input %f", x) // ok: error exit fires once
+		}
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("NaN input %f", x)) // ok: panic exit
+		}
+	}
+	return nil
+}

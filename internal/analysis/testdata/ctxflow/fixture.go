@@ -1,0 +1,96 @@
+// Fixture for the ctxflow rule: blocking operations in the context-scoped
+// packages must sit under a caller-supplied context.Context; fresh roots
+// are confined to package main, tests, and waived shims.
+package measure
+
+import (
+	"context"
+	"net"
+	"net/rpc"
+	"time"
+)
+
+func freshRoot() context.Context {
+	return context.Background() // want ctxflow
+}
+
+func todoRoot() context.Context {
+	ctx := context.TODO() // want ctxflow
+	return ctx
+}
+
+func sleepNoCtx() {
+	time.Sleep(time.Millisecond) // want ctxflow
+}
+
+func sleepWithCtx(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Millisecond) // ok: a ctx is threaded through this frame
+}
+
+func bareTimerWait() {
+	<-time.After(time.Millisecond) // want ctxflow
+}
+
+func dialNoCtx() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:1") // want ctxflow
+}
+
+func dialerNoCtx() (net.Conn, error) {
+	var d net.Dialer
+	return d.Dial("tcp", "127.0.0.1:1") // want ctxflow
+}
+
+func dialWithCtx(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", "127.0.0.1:1") // ok
+}
+
+func rpcCallNoCtx(c *rpc.Client) error {
+	return c.Call("Svc.Method", struct{}{}, nil) // want ctxflow
+}
+
+func rpcCallWithCtx(ctx context.Context, c *rpc.Client) error {
+	_ = ctx
+	return c.Call("Svc.Method", struct{}{}, nil) // ok: ctx in scope
+}
+
+func sendParamNoCtx(ch chan int) {
+	ch <- 1 // want ctxflow
+}
+
+func recvParamNoCtx(ch chan int) int {
+	return <-ch // want ctxflow
+}
+
+func localChannelOK() int {
+	ch := make(chan int, 1)
+	ch <- 1 // ok: channel lives and dies in this frame
+	return <-ch
+}
+
+func selectIsExempt(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	case <-time.After(time.Millisecond): // ok: timeout arm of a select
+		return -1
+	}
+}
+
+func closureInheritsCtx(ctx context.Context, ch chan int) {
+	f := func() {
+		<-ch // ok: the enclosing closure chain threads a ctx
+	}
+	f()
+	_ = ctx
+}
+
+func closureNoCtx(ch chan int) {
+	f := func() {
+		<-ch // want ctxflow
+	}
+	f()
+}

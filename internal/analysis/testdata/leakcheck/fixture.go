@@ -1,0 +1,91 @@
+// Fixture for the leakcheck rule: every goroutine spawned in the pool
+// layers needs a provable join or cancel path.
+package fleet
+
+import (
+	"context"
+	"sync"
+)
+
+func unjoined() {
+	go func() {}() // want leakcheck
+}
+
+func wgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: Add before spawn, Done in body
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func wgAddAfterSpawn() {
+	var wg sync.WaitGroup
+	go func() { // want leakcheck
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+func ctxBound(ctx context.Context) {
+	go func() { // ok: terminates on cancellation
+		<-ctx.Done()
+	}()
+}
+
+func doneChannel() {
+	quit := make(chan struct{})
+	go func() { // ok: parks on the quit channel
+		<-quit
+	}()
+	close(quit)
+}
+
+func drainsChannel(ch chan int) {
+	go func() { // ok: exits when the producer closes ch
+		for range ch {
+		}
+	}()
+}
+
+func boundedHandoff() int {
+	ch := make(chan int, 1)
+	go func() { // ok: the buffered send is the completion guarantee
+		ch <- 42
+	}()
+	return <-ch
+}
+
+func handoffOnParamChannel(ch chan int) {
+	go func() { // want leakcheck
+		ch <- 1 // want ctxflow
+	}()
+}
+
+func unbufferedHandoff() {
+	ch := make(chan int)
+	go func() { // want leakcheck
+		ch <- 1
+	}()
+	// The receive may never run; an unbuffered send is not a guarantee.
+}
+
+func fireAndForgetNamed() {
+	go helper() // want leakcheck
+}
+
+func helper() {}
+
+func namedWithCtx(ctx context.Context) {
+	go watch(ctx) // ok: the named function's body receives ctx.Done
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func opaqueSpawn(f func()) {
+	go f() // want leakcheck
+}

@@ -1,0 +1,120 @@
+// Fixture for the lockcheck rule: no lock value copies, no Lock without a
+// same-function Unlock, no blocking operations while a mutex is held.
+package tlog
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type wrapper struct {
+	inner store // lock embedded one level down
+}
+
+func (s *store) paired(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func (s *store) leaked(k string) int { // lock with no release path
+	s.mu.Lock() // want lockcheck
+	return s.m[k]
+}
+
+func (s store) valueReceiver() { // want lockcheck
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func byValueParam(w wrapper) { // want lockcheck
+	_ = w
+}
+
+func byPointerParam(w *wrapper) { // ok
+	_ = w
+}
+
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockcheck
+	s.mu.Unlock()
+}
+
+func (s *store) sendUnderLock(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want lockcheck
+	s.mu.Unlock()
+}
+
+func (s *store) recvUnderLock(ch chan int) {
+	s.mu.Lock()
+	<-ch // want lockcheck
+	s.mu.Unlock()
+}
+
+func (s *store) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want lockcheck
+	s.mu.Unlock()
+}
+
+func (s *store) selectUnderLock(ch chan int) {
+	s.mu.Lock()
+	select { // want lockcheck
+	case <-ch:
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) selectWithDefault(ch chan int) {
+	s.mu.Lock()
+	select { // ok: the default arm makes it non-blocking
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) collectThenSend(ch chan int) {
+	s.mu.Lock()
+	v := s.m["k"]
+	s.mu.Unlock()
+	ch <- v // ok: lock released before the send
+}
+
+func (s *store) deferredHoldsToReturn(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-ch // want lockcheck
+}
+
+func (s *store) closureRunsLater(ch chan int) func() {
+	s.mu.Lock()
+	f := func() { <-ch } // ok: executes after the critical section
+	s.mu.Unlock()
+	return f
+}
+
+func (s *store) closureOwnDiscipline(ch chan int) func() {
+	return func() {
+		s.mu.Lock()
+		<-ch // want lockcheck
+		s.mu.Unlock()
+	}
+}
+
+func (s *store) branchScopedLock(cond bool, ch chan int) {
+	if cond {
+		s.mu.Lock()
+		s.m["k"]++
+		s.mu.Unlock()
+	}
+	ch <- 1 // ok: the branch released its lock; nothing held here
+}

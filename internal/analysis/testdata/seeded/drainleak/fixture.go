@@ -1,0 +1,30 @@
+// Seeded defect: the leaked drain waiter. An early cut of the measurement
+// server's shutdown spawned a poller with no join path and no context —
+// when the caller gave up waiting, the goroutine kept polling a dead
+// server forever. leakcheck catches the unjoined spawn; ctxflow catches
+// the uncancellable sleep inside it.
+package measure
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu       sync.Mutex
+	inflight int
+}
+
+func (s *server) drainAsync() {
+	go func() { // want leakcheck
+		for {
+			s.mu.Lock()
+			n := s.inflight
+			s.mu.Unlock()
+			if n == 0 {
+				return
+			}
+			time.Sleep(2 * time.Millisecond) // want ctxflow
+		}
+	}()
+}

@@ -1,0 +1,25 @@
+// Seeded defect: fmt on the scoring path. The tuned-config cache's first
+// warm-start pass built its candidate keys with fmt.Sprintf inside the
+// scoring loop — two allocations per candidate, multiplied by every
+// candidate the acquisition function ranked. allocpath flags the loop
+// allocations reachable from the Score root.
+package acq
+
+import "fmt"
+
+type candidate struct {
+	Blueprint int64
+	Index     int64
+}
+
+func Score(cands []candidate) map[string]float64 {
+	out := make(map[string]float64, len(cands))
+	var keys []string
+	for _, c := range cands {
+		key := fmt.Sprintf("%d/%d", c.Blueprint, c.Index) // want allocpath
+		keys = append(keys, key)                          // want allocpath
+		out[key] = float64(c.Index)
+	}
+	_ = keys
+	return out
+}

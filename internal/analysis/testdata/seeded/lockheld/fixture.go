@@ -1,0 +1,31 @@
+// Seeded defect: the blocking event sink and the copied registry. An
+// early metric registry delivered events to a subscriber channel while
+// still holding its own mutex — a slow subscriber stalled every counter
+// increment in the process. The snapshot helper also took the registry by
+// value, copying the mutex. lockcheck flags both shapes.
+package tlog
+
+import "sync"
+
+type registry struct {
+	mu     sync.Mutex
+	counts map[string]int
+	events chan string
+}
+
+func (r *registry) incr(name string) {
+	r.mu.Lock()
+	r.counts[name]++
+	r.events <- name // want lockcheck
+	r.mu.Unlock()
+}
+
+func snapshot(r registry) map[string]int { // want lockcheck
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}

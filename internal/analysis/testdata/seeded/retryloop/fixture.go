@@ -1,0 +1,23 @@
+// Seeded defect: the ctx-less retry loop. The fleet's first endpoint
+// redial helper backed off with bare time.Sleep and net.Dial — a tuning
+// session being torn down had to sit through the full retry schedule
+// before its worker exited. ctxflow flags both the dial and the sleep.
+package fleet
+
+import (
+	"net"
+	"time"
+)
+
+func redial(addr string, attempts int) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.Dial("tcp", addr) // want ctxflow
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(time.Duration(i+1) * 100 * time.Millisecond) // want ctxflow
+	}
+	return nil, lastErr
+}

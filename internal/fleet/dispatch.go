@@ -169,6 +169,7 @@ func (d *dispatcher) speculateAfter(sl *slot, n int) time.Duration {
 // buffered events channel (sized so abandoned attempts can never block).
 func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, task workload.Task, sp *space.Space,
 	idxs []int64, events chan<- attemptDone) {
+	//glint:ignore ctxflow -- attempt-scoped root: the ctx-less Measurer API ends here and every attempt is cancelled via ck.cancels on abort/finish
 	actx, cancel := context.WithCancel(context.Background())
 	ck.inFlight++
 	ck.holders = append(ck.holders, sl)
@@ -176,6 +177,7 @@ func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, task workload.Task, 
 	if ck.inFlight == 1 {
 		ck.started = time.Now()
 	}
+	//glint:ignore leakcheck -- the attempt finishes by sending on events, buffered past max in-flight, so the send (and exit) cannot block
 	go func() {
 		defer func() {
 			sl.release()
@@ -187,6 +189,7 @@ func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, task workload.Task, 
 		if err == nil {
 			res, err = conn.MeasureBatchContext(actx, task, sp, idxs[ck.lo:ck.hi])
 		}
+		//glint:ignore ctxflow -- events is buffered past max in-flight (see measureSharded), so this send never blocks
 		events <- attemptDone{ck: ck, sl: sl, res: res, err: err, wall: time.Since(start), twin: twin}
 	}()
 }

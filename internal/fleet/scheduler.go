@@ -341,7 +341,12 @@ func (s *Scheduler) Run(cfg Config, targets []string, g *rng.RNG) ([]*Plan, erro
 				}
 			}(j)
 		}
+		// The span-ender must be joined by the outer wg: without it Run can
+		// return (and the caller flush the tracer) before swg.Wait() wakes,
+		// losing the shard span's End record from the trace.
+		wg.Add(1)
 		go func(sp telemetry.Span, swg *sync.WaitGroup) {
+			defer wg.Done()
 			swg.Wait()
 			sp.End()
 		}(ssp, &swg)

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"time"
@@ -131,7 +132,9 @@ func TestDrainAndClose(t *testing.T) {
 	if _, err := remote.MeasureBatch(task, sp, []int64{sp.RandomIndex(g)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.DrainAndClose(time.Second); err != nil {
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Second)
+	defer dcancel()
+	if err := srv.DrainAndClose(dctx); err != nil {
 		t.Fatal(err)
 	}
 	var health PingReply

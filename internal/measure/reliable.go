@@ -239,6 +239,7 @@ func (r *Reliable) record(e Event) {
 // sanitized batch. It returns the last underlying error when every backend
 // is exhausted.
 func (r *Reliable) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	//glint:ignore ctxflow -- compat shim: the Measurer interface is ctx-less; the fleet threads a real ctx via MeasureBatchContext
 	return r.MeasureBatchContext(context.Background(), task, sp, idxs)
 }
 

@@ -183,6 +183,7 @@ func (s *Server) Serve(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.conns = make(map[net.Conn]struct{})
+	//glint:ignore leakcheck -- accept loop exits when Close/DrainAndClose closes the listener
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -197,6 +198,7 @@ func (s *Server) Serve(addr string) (string, error) {
 			}
 			s.conns[conn] = struct{}{}
 			s.mu.Unlock()
+			//glint:ignore leakcheck -- per-conn server exits when Close/DrainAndClose severs the connection
 			go func() {
 				srv.ServeConn(conn)
 				s.mu.Lock()
@@ -209,9 +211,10 @@ func (s *Server) Serve(addr string) (string, error) {
 }
 
 // DrainAndClose shuts down gracefully: it stops accepting connections,
-// rejects new measurement batches with ErrDraining, waits (up to timeout)
-// for in-flight batches to finish, then severs the remaining connections.
-func (s *Server) DrainAndClose(timeout time.Duration) error {
+// rejects new measurement batches with ErrDraining, waits for in-flight
+// batches to finish or the context to expire, then severs the remaining
+// connections. Callers bound the drain with context.WithTimeout.
+func (s *Server) DrainAndClose(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	ln := s.ln
@@ -220,15 +223,18 @@ func (s *Server) DrainAndClose(timeout time.Duration) error {
 	if ln != nil {
 		err = ln.Close()
 	}
-	deadline := time.Now().Add(timeout)
-	for {
+	for done := false; !done; {
 		s.mu.Lock()
 		n := s.inflight
 		s.mu.Unlock()
-		if n == 0 || !time.Now().Before(deadline) {
+		if n == 0 {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			done = true
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 	s.mu.Lock()
 	for conn := range s.conns {
@@ -281,12 +287,27 @@ func DialTimeout(addr, device string, timeout time.Duration) (*Remote, error) {
 	if timeout <= 0 {
 		timeout = DefaultDialTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	//glint:ignore ctxflow -- compat shim: the timeout-based dial API predates ctx plumbing and the root is bounded by the timeout
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialContext(ctx, addr, device)
+}
+
+// DialContext is Dial bounded by a caller-supplied context: both the TCP
+// connect and the handshake List call respect ctx's deadline and
+// cancellation.
+func DialContext(ctx context.Context, addr, device string) (*Remote, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	// Bound the handshake List call; the deadline is lifted once bound.
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	handshake := time.Now().Add(DefaultDialTimeout)
+	if dl, ok := ctx.Deadline(); ok {
+		handshake = dl
+	}
+	if err := conn.SetDeadline(handshake); err != nil {
 		_ = conn.Close() // teardown; the close error is uninteresting
 		return nil, err
 	}
@@ -311,6 +332,7 @@ func DialTimeout(addr, device string, timeout time.Duration) (*Remote, error) {
 
 // MeasureBatch measures remotely.
 func (r *Remote) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	//glint:ignore ctxflow -- compat shim: the Measurer interface is ctx-less; the fleet threads a real ctx via MeasureBatchContext
 	return r.MeasureBatchContext(context.Background(), task, sp, idxs)
 }
 
@@ -333,11 +355,26 @@ func (r *Remote) MeasureBatchContext(ctx context.Context, task workload.Task, sp
 	}
 }
 
-// Ping health-checks the server this Remote is connected to.
+// Ping health-checks the server this Remote is connected to, bounded by
+// the default dial timeout.
 func (r *Remote) Ping() (PingReply, error) {
+	//glint:ignore ctxflow -- compat shim: the timeout-bounded health probe is its own root
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultDialTimeout)
+	defer cancel()
+	return r.PingContext(ctx)
+}
+
+// PingContext is Ping bounded by a caller-supplied context; the in-flight
+// RPC is abandoned when ctx expires.
+func (r *Remote) PingContext(ctx context.Context) (PingReply, error) {
 	var reply PingReply
-	err := r.client.Call("Measure.Ping", struct{}{}, &reply)
-	return reply, err
+	call := r.client.Go("Measure.Ping", struct{}{}, &reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return reply, ctx.Err()
+	case done := <-call.Done:
+		return reply, done.Error
+	}
 }
 
 // DeviceName identifies the remote GPU.

@@ -150,7 +150,7 @@ func (e *Ensemble) Select(task workload.Task, sp *space.Space, cands []int64, n 
 		return e.Accept(task, sp, cands[i])
 	})
 	out := make([]int64, 0, n)
-	var rejected []int64
+	rejected := make([]int64, 0, len(cands))
 	for i, idx := range cands {
 		if len(out) >= n {
 			break

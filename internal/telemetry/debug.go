@@ -54,6 +54,7 @@ func ServeDebug(addr string, mux *http.ServeMux) (string, func() error, error) {
 		return "", nil, fmt.Errorf("telemetry: debug listener: %w", err)
 	}
 	srv := &http.Server{Handler: mux}
+	//glint:ignore leakcheck -- serve loop exits when the returned closer shuts the server down
 	go func() {
 		_ = srv.Serve(ln) // returns ErrServerClosed (or a late accept error) on shutdown; nothing to do with it
 	}()
