@@ -63,7 +63,8 @@ race:
 	$(GO) test -race ./internal/fleet/... ./internal/measure/... ./internal/faults/... \
 		./internal/parallel/... ./internal/anneal/... ./internal/gbt/... \
 		./internal/sampler/... ./internal/acq/... ./internal/nn/... \
-		./internal/core/... ./internal/tuner/... ./internal/cache/...
+		./internal/core/... ./internal/tuner/... ./internal/cache/... \
+		./internal/server/...
 
 .PHONY: bench
 bench:
@@ -108,6 +109,17 @@ bench-cache:
 	$(GO) test -bench 'BenchmarkCache' -benchtime 1x -benchmem -run '^$$' ./internal/cache/... \
 		| $(GO) run ./cmd/benchjson > BENCH_cache.json
 	@echo wrote BENCH_cache.json
+
+# Tuning-service benchmark as a machine-readable artifact: a glimpsed
+# server under a multi-tenant job stream. Reports sustained jobs/sec,
+# p50/p99 time-to-first-progress, drained-and-resumed jobs (lost must be
+# 0), and the ledger-vs-result GPU-second reconciliation delta (must be
+# ~0).
+.PHONY: bench-serve
+bench-serve:
+	$(GO) test -bench 'BenchmarkServe' -benchtime 1x -benchmem -run '^$$' -timeout 20m ./internal/server/... \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@echo wrote BENCH_serve.json
 
 .PHONY: fmt
 fmt:

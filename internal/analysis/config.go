@@ -65,12 +65,14 @@ var Scope = struct {
 		"internal/fleet",
 		"internal/measure",
 		"internal/telemetry",
+		"internal/server",
 	},
 	Ctx: []string{
 		"internal/fleet",
 		"internal/measure",
 		"internal/rpc",
 		"internal/cache",
+		"internal/server",
 	},
 	Lock: []string{
 		"internal/telemetry",
@@ -79,6 +81,8 @@ var Scope = struct {
 		"internal/measure",
 		"internal/parallel",
 		"internal/tlog",
+		"internal/server",
+		"internal/tuner",
 	},
 	Hot: []string{
 		"internal/gbt",

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/acq"
+	"github.com/neuralcompile/glimpse/internal/anneal"
+	"github.com/neuralcompile/glimpse/internal/gp"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/parallel"
+	"github.com/neuralcompile/glimpse/internal/prior"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/sampler"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// TuneSession is one Glimpse tuning run held open as an explicit step
+// loop: each Step measures one batch (the §3.1 prior batch first, then
+// §3.2/§3.3 iterations), so a scheduler can interleave many sessions,
+// checkpoint between steps, and preempt or resume a session without
+// losing work.
+//
+// A TuneSession carries no durable state of its own. The resume
+// discipline is deterministic replay: every randomized stage draws from
+// the seeded RNG handed to NewTuneSession, and the only external input is
+// the Measurer's results — so re-driving a fresh session whose Measurer
+// serves the recorded measurements of a previous run (tlog.Replayer over
+// the session's measurement log) reconstructs the exact in-memory state,
+// including the RNG stream position, at which the previous run stopped.
+// Glimpse.Tune, the fleet, and cmd/glimpse all drive this same loop, so a
+// stepped, checkpointed, resumed session is byte-identical to a one-shot
+// run for the same seed and config.
+type TuneSession struct {
+	gl   *Glimpse
+	task workload.Task
+	sp   *space.Space
+	s    *tuner.Session
+	g    *rng.RNG
+
+	batch  int
+	pool   int
+	priorW float64
+
+	hw     []float64
+	dist   *prior.Dist
+	scorer *prior.Scorer
+	ens    *sampler.Ensemble
+
+	xs           [][]float64
+	ys           []float64
+	visitedOrder []int64
+	visited      map[int64]bool
+
+	seeds []int64
+	warmX [][]float64
+	warmY []float64
+
+	totalBudget int
+	stall       int
+	lastBest    float64
+
+	started bool
+	done    bool
+}
+
+// NewTuneSession validates the artifacts and opens a session; no
+// measurements run until the first Step.
+func (gl *Glimpse) NewTuneSession(task workload.Task, sp *space.Space, m measure.Measurer,
+	budget tuner.Budget, g *rng.RNG) (*TuneSession, error) {
+
+	if gl.Emb == nil || gl.Prior == nil || gl.Acq == nil {
+		return nil, fmt.Errorf("core: Glimpse missing offline artifacts (use Toolkit)")
+	}
+	batch := gl.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	pool := gl.PoolSize
+	if pool <= 0 {
+		pool = 4 * batch
+	}
+	tau := gl.Tau
+	if tau <= 0 {
+		tau = sampler.DefaultTau
+	}
+	priorW := gl.PriorWeight
+	if priorW <= 0 {
+		priorW = 0.15
+	}
+
+	s, err := tuner.NewSession(gl.Name(), task, sp, m, budget, g)
+	if err != nil {
+		return nil, err
+	}
+
+	hw := gl.Emb.Embed(gl.Target)
+	dist, err := gl.Prior.Distributions(task, gl.Target)
+	if err != nil {
+		return nil, err
+	}
+	scorer := dist.Scorer(sp)
+	ens, err := sampler.NewEnsemble(gl.Emb, hw, gl.EnsembleSize, tau, g.Split("ensemble"))
+	if err != nil {
+		return nil, err
+	}
+
+	ts := &TuneSession{
+		gl: gl, task: task, sp: sp, s: s, g: g,
+		batch: batch, pool: pool, priorW: priorW,
+		hw: hw, dist: dist, scorer: scorer, ens: ens,
+		visited: map[int64]bool{},
+	}
+
+	// Warm start: donor best-configs from neighbor SKUs bypass the
+	// ensemble filter (they ran valid on real hardware nearby), and donor
+	// samples pre-train the surrogate. Both are fixed inputs — no RNG —
+	// so warm runs stay deterministic.
+	if gl.Warm != nil {
+		for _, idx := range gl.Warm.Seeds {
+			if idx >= 0 && idx < sp.Size() {
+				ts.seeds = append(ts.seeds, idx)
+			}
+		}
+		ts.warmX = gl.Warm.Features
+		// Donor rows carry ranking information, not target-scale truth: a
+		// donor's best config need not be the target's. Discount them below
+		// the target's own normalized max so the first real measurement that
+		// beats a donor region outranks it, instead of the GP chasing a
+		// neighbor's optimum at face value for the whole session.
+		ts.warmY = make([]float64, len(gl.Warm.GFLOPS))
+		for i, v := range gl.Warm.GFLOPS {
+			ts.warmY[i] = warmDiscount * v
+		}
+	}
+
+	ts.totalBudget = budget.MaxMeasurements
+	if ts.totalBudget <= 0 {
+		ts.totalBudget = 512 // progress proxy when only GPU time is bounded
+	}
+	return ts, nil
+}
+
+// selector is the §3.3 ensemble-vote batch filter.
+func (ts *TuneSession) selector(cands []int64, n int) []int64 {
+	vote := ts.gl.Tracer.Start(telemetry.StageEnsembleVote)
+	vote.SetAttr("cands", len(cands))
+	var kept []int64
+	if ts.gl.DisableSampler {
+		kept = sampler.Passthrough{}.Select(ts.task, ts.sp, cands, n, ts.g)
+	} else {
+		kept = ts.ens.Select(ts.task, ts.sp, cands, n, ts.g)
+	}
+	vote.SetAttr("kept", len(kept))
+	vote.End()
+	return kept
+}
+
+// record measures one batch and folds the results into the surrogate's
+// training set.
+func (ts *TuneSession) record(idxs []int64) error {
+	msp := ts.gl.Tracer.Start(telemetry.StageMeasure)
+	msp.SetAttr("batch", len(idxs))
+	results, err := ts.s.MeasureBatch(idxs)
+	if err != nil {
+		msp.SetAttr("error", err.Error())
+		msp.End()
+		return err
+	}
+	valid := 0
+	for _, r := range results {
+		if r.Valid {
+			valid++
+		}
+	}
+	msp.SetAttr("valid", valid)
+	msp.End()
+	ts.s.RecordInitialBatch(results)
+	for i, r := range results {
+		ts.visited[idxs[i]] = true
+		ts.visitedOrder = append(ts.visitedOrder, idxs[i])
+		v := 0.0
+		if r.Valid {
+			v = r.GFLOPS
+		}
+		ts.xs = append(ts.xs, ts.sp.FeaturesAt(idxs[i]))
+		ts.ys = append(ts.ys, v)
+	}
+	return nil
+}
+
+// stepInitial runs the §3.1 initial batch: prior-distribution samples
+// (ensemble-filtered), led by any warm-start seeds.
+func (ts *TuneSession) stepInitial() error {
+	psp := ts.gl.Tracer.Start(telemetry.StagePriorSample)
+	psp.SetAttr("want", 3*ts.batch)
+	psp.SetAttr("warm_seeds", len(ts.seeds))
+	var first []int64
+	if ts.gl.DisablePrior {
+		for i := 0; i < 3*ts.batch; i++ {
+			first = append(first, ts.sp.RandomIndex(ts.g))
+		}
+	} else {
+		first = ts.dist.Sample(ts.sp, 3*ts.batch, ts.g.Split("prior-sample"))
+	}
+	psp.SetAttr("sampled", len(first))
+	psp.End()
+	want := ts.s.Remaining(ts.batch)
+	seeds := ts.seeds
+	if len(seeds) > want {
+		seeds = seeds[:want]
+	}
+	first = append(append([]int64(nil), seeds...), ts.selector(first, want-len(seeds))...)
+	if len(first) == 0 {
+		ts.done = true
+		return nil
+	}
+	return ts.record(first)
+}
+
+// stepIterate runs one §3.2/§3.3 loop iteration: surrogate fit, annealed
+// exploration, acquisition scoring, ensemble-filtered measurement.
+func (ts *TuneSession) stepIterate() error {
+	gl := ts.gl
+	sp := ts.sp
+
+	// Surrogate: exact GP on normalized measurements, pre-trained with
+	// discounted donor rows when warm-started. Donor rows retire once
+	// the target's own data outnumbers them 2:1 — past that point they
+	// only blur a surrogate the real measurements specify better, and
+	// the warm session's late-run search matches a cold one's.
+	if len(ts.xs) >= 2*len(ts.warmY) {
+		ts.warmX, ts.warmY = nil, nil
+	}
+	ny := normalize(ts.ys)
+	gpx := make([][]float64, 0, len(ts.warmX)+len(ts.xs))
+	gpx = append(append(gpx, ts.warmX...), ts.xs...)
+	gpy := make([]float64, 0, len(ts.warmY)+len(ny))
+	gpy = append(append(gpy, ts.warmY...), ny...)
+	gx, gy := capGPSet(gpx, gpy, 144)
+	tsp := gl.Tracer.Start(telemetry.StageSurrogateTrain)
+	tsp.SetAttr("rows", len(gx))
+	sur, err := gp.FitWithGridSearch(gx, gy, 1e-3, func(v, sc float64) gp.Kernel {
+		return gp.Matern52{Variance: v, LengthScale: sc}
+	})
+	tsp.End()
+	if err != nil {
+		return err
+	}
+	best := maxOf(gy)
+
+	// §3.2 — explorer: SA over a surrogate UCB plus the prior energy,
+	// then neural acquisition scoring of the pool. The UCB's κ ramps
+	// while progress stalls, steering the chains toward uncertain
+	// regions instead of circling a local basin.
+	kappa := 0.2 + 0.8*float64(ts.stall)
+	energy := func(i int64) float64 {
+		mean, variance := sur.Predict(sp.FeaturesAt(i))
+		v := mean + kappa*sqrtPos(variance)
+		if gl.DisablePrior {
+			return v
+		}
+		return v + ts.priorW*ts.scorer.LogProbIndex(i)/10
+	}
+	annealCfg := anneal.DefaultConfig()
+	annealCfg.Workers = gl.Workers
+	annealCfg.Tracer = gl.Tracer // anneal.Run emits its own "anneal" span
+	annealCfg.InitialSeed = topMeasured(ts.xs, ts.ys, ts.visitedOrder, 3)
+	top, err := anneal.Run(anneal.Problem{
+		Size:     sp.Size(),
+		Score:    energy,
+		Neighbor: sp.Neighbor,
+	}, annealCfg, ts.pool, ts.g)
+	if err != nil {
+		return err
+	}
+
+	progress := float64(ts.s.Snapshot().Measurements) / float64(ts.totalBudget)
+	var fresh []int64
+	for _, r := range top {
+		if !ts.visited[r.Index] {
+			fresh = append(fresh, r.Index)
+		}
+	}
+	if len(fresh) == 0 {
+		ts.done = true
+		return nil
+	}
+	// §3.2 scoring, two pooled passes: surrogate posterior per candidate
+	// (GP predict dominates), then the neural acquisition batch. Both
+	// are index-ordered maps, so output is worker-count invariant.
+	ssp := gl.Tracer.Start(telemetry.StageSurrogateScore)
+	ssp.SetAttr("cands", len(fresh))
+	stats := parallel.Map(gl.Workers, len(fresh), func(i int) acq.Stats {
+		mean, variance := sur.Predict(sp.FeaturesAt(fresh[i]))
+		return acq.Stats{
+			Mean:         mean,
+			Std:          sqrtPos(variance),
+			Best:         best,
+			Progress:     progress,
+			PriorLogProb: ts.scorer.LogProbIndex(fresh[i]),
+		}
+	})
+	ssp.End()
+	asp := gl.Tracer.Start(telemetry.StageAcquisition)
+	asp.SetAttr("cands", len(stats))
+	var scores []float64
+	if gl.DisableAcq {
+		scores = parallel.Map(gl.Workers, len(stats), func(i int) float64 {
+			return acq.EI(stats[i].Mean, stats[i].Std, stats[i].Best)
+		})
+	} else {
+		scores = gl.Acq.ScoreBatch(stats, ts.hw, gl.Workers)
+	}
+	asp.End()
+	cands := make([]scoredCand, len(fresh))
+	for i := range fresh {
+		cands[i] = scoredCand{fresh[i], scores[i]}
+	}
+	sortScoredDesc(cands)
+	ordered := make([]int64, len(cands))
+	for i, c := range cands {
+		ordered[i] = c.idx
+	}
+
+	// §3.3 — ensemble vote filters the measurement batch.
+	n := ts.s.Remaining(ts.batch)
+	explore := (n / 8) * (1 + ts.stall)
+	if explore < 1 && n > 2 {
+		explore = 1
+	}
+	if explore > n/2 {
+		explore = n / 2
+	}
+	idxs := ts.selector(ordered, n-explore)
+	// Hardware-Aware Exploration keeps a slice of each batch for fresh
+	// samples so the search cannot collapse onto one mode: prior-guided
+	// draws normally, widened with uniform draws while progress stalls.
+	if explore > 0 {
+		freshDraw := ts.dist.Sample(sp, 8*explore, ts.g)
+		for i := 0; i < 4*explore*ts.stall; i++ {
+			freshDraw = append(freshDraw, sp.RandomIndex(ts.g))
+		}
+		var unseen []int64
+		for _, idx := range freshDraw {
+			if !ts.visited[idx] {
+				unseen = append(unseen, idx)
+			}
+		}
+		idxs = append(idxs, ts.selector(unseen, explore)...)
+	}
+	if len(idxs) == 0 {
+		ts.done = true
+		return nil
+	}
+	if err := ts.record(idxs); err != nil {
+		return err
+	}
+	if cur := ts.s.Snapshot().BestGFLOPS; cur > ts.lastBest*1.005 {
+		ts.stall = 0
+		ts.lastBest = cur
+	} else if ts.stall < 6 {
+		ts.stall++
+	}
+	return nil
+}
+
+// Step advances the session by one measurement batch and reports whether
+// the session has finished. Calling Step on a finished session is a
+// harmless no-op returning done=true.
+func (ts *TuneSession) Step() (done bool, err error) {
+	if ts.done {
+		return true, nil
+	}
+	if !ts.started {
+		ts.started = true
+		if err := ts.stepInitial(); err != nil {
+			return false, err
+		}
+		return ts.done, nil
+	}
+	if ts.s.Done() {
+		ts.done = true
+		return true, nil
+	}
+	if err := ts.stepIterate(); err != nil {
+		return false, err
+	}
+	return ts.done, nil
+}
+
+// Done reports whether the session has finished (budget exhausted,
+// converged, or search dried up).
+func (ts *TuneSession) Done() bool { return ts.done || (ts.started && ts.s.Done()) }
+
+// Snapshot returns the session's progress so far without ending it.
+func (ts *TuneSession) Snapshot() tuner.Result { return ts.s.Snapshot() }
+
+// Result finalizes and returns the session result. The session may not be
+// stepped afterwards.
+func (ts *TuneSession) Result() *tuner.Result {
+	ts.done = true
+	return ts.s.Finish()
+}

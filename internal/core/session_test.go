@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/rng"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/tlog"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func resultBytes(t *testing.T, res *tuner.Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTuneSessionStepMatchesTune pins the refactor contract: driving the
+// explicit step loop produces a byte-identical result to the one-shot
+// Tune entry point for the same seed.
+func TestTuneSessionStepMatchesTune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs tuning sessions")
+	}
+	tk := smallToolkit(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	budget := tuner.Budget{MaxMeasurements: 48}
+
+	oneShot, err := tk.Tuner().Tune(task, sp, measure.MustNewLocal(hwspec.TitanXp),
+		budget, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, err := tk.Tuner().NewTuneSession(task, sp, measure.MustNewLocal(hwspec.TitanXp),
+		budget, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		done, err := ts.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+		if steps > 100 {
+			t.Fatal("step loop did not terminate")
+		}
+	}
+	stepped := ts.Result()
+
+	if a, b := resultBytes(t, oneShot), resultBytes(t, stepped); !bytes.Equal(a, b) {
+		t.Fatalf("stepped session diverged from one-shot Tune:\n one-shot %s\n stepped  %s", a, b)
+	}
+	if stepped.Steps == 0 || stepped.Measurements == 0 {
+		t.Fatalf("stepped session measured nothing: %+v", stepped)
+	}
+}
+
+// TestTuneSessionReplayResume pins the restart contract behind the
+// tuning service: a session interrupted after k steps and resumed by
+// replaying its measurement log finishes with a byte-identical result to
+// an uninterrupted run, and the replayed prefix costs zero new
+// measurements.
+func TestTuneSessionReplayResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and runs tuning sessions")
+	}
+	tk := smallToolkit(t)
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.MustForTask(task)
+	budget := tuner.Budget{MaxMeasurements: 48}
+
+	// Uninterrupted reference run.
+	want, err := tk.Tuner().Tune(task, sp, measure.MustNewLocal(hwspec.TitanXp),
+		budget, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: record every measurement, stop after two steps —
+	// the moment a drain-on-SIGTERM checkpoint would capture.
+	var log bytes.Buffer
+	rec := &tlog.RecordingMeasurer{
+		Inner: measure.MustNewLocal(hwspec.TitanXp),
+		Out:   tlog.NewWriter(&log, 0),
+	}
+	ts, err := tk.Tuner().NewTuneSession(task, sp, rec, budget, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		done, err := ts.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatal("session finished before the interruption point; shrink the step count")
+		}
+	}
+
+	// Resume in a fresh session (fresh RNG, fresh toolkit state): the
+	// recorded log replays the prefix, then new measurements append to
+	// the same log with continued sequence numbers.
+	entries, err := tlog.Read(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("interrupted run recorded nothing")
+	}
+	cont := &tlog.RecordingMeasurer{
+		Inner: measure.MustNewLocal(hwspec.TitanXp),
+		Out:   tlog.NewWriter(&log, entries[len(entries)-1].Seq),
+	}
+	replay := tlog.NewReplayer(entries, cont)
+	resumed, err := tk.Tuner().NewTuneSession(task, sp, replay, budget, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		done, err := resumed.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	got := resumed.Result()
+
+	if a, b := resultBytes(t, want), resultBytes(t, got); !bytes.Equal(a, b) {
+		t.Fatalf("resumed session diverged from uninterrupted run:\n want %s\n got  %s", a, b)
+	}
+	if replay.Replaying() {
+		t.Fatalf("resume left %d recorded entries unconsumed", len(entries)-replay.Consumed())
+	}
+	// The full log now covers the whole session: replayed prefix plus the
+	// continuation, with unbroken sequence numbers.
+	all, err := tlog.Read(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != want.Measurements {
+		t.Fatalf("final log holds %d entries, session measured %d", len(all), want.Measurements)
+	}
+	for i, e := range all {
+		if e.Seq != i+1 {
+			t.Fatalf("log seq broken at %d: %d", i, e.Seq)
+		}
+	}
+}

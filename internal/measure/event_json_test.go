@@ -1,0 +1,35 @@
+package measure
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestEventJSONStable pins the Event wire format byte-for-byte: records
+// marshal in struct order with documented names, so SSE streams and
+// JSONL event logs stay deterministic and diffable across runs and
+// versions (DESIGN.md §13).
+func TestEventJSONStable(t *testing.T) {
+	data, err := json.Marshal(Event{
+		Backend: "titan-xp",
+		Task:    "conv2d_3",
+		Kind:    "retry",
+		Detail:  "attempt 2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"backend":"titan-xp","task":"conv2d_3","kind":"retry","detail":"attempt 2"}`
+	if string(data) != want {
+		t.Fatalf("Event JSON drifted:\n got %s\nwant %s", data, want)
+	}
+	// Detail is the only optional field.
+	data, err = json.Marshal(Event{Backend: "b", Task: "t", Kind: "timeout"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"backend":"b","task":"t","kind":"timeout"}`
+	if string(data) != want {
+		t.Fatalf("empty-detail Event JSON drifted:\n got %s\nwant %s", data, want)
+	}
+}

@@ -117,12 +117,15 @@ type ReliableStats struct {
 	BreakerSkips int // backends skipped because their breaker was open
 }
 
-// Event is one recorded degradation, for logs and post-mortems.
+// Event is one recorded degradation, for logs and post-mortems. The
+// JSON field order is part of the streamed-event contract (DESIGN.md
+// §13): events marshal in struct order, so SSE streams and JSONL event
+// logs are deterministic and diffable across runs.
 type Event struct {
-	Backend string // device name of the backend involved
-	Task    string
-	Kind    string // "retry" | "backoff" | "timeout" | "failover" | "breaker_open" | "breaker_close" | "breaker_probe" | "skip_open" | "sanitized" | "exhausted"
-	Detail  string
+	Backend string `json:"backend"` // device name of the backend involved
+	Task    string `json:"task"`
+	Kind    string `json:"kind"` // "retry" | "backoff" | "timeout" | "failover" | "breaker_open" | "breaker_close" | "breaker_probe" | "skip_open" | "sanitized" | "exhausted"
+	Detail  string `json:"detail,omitempty"`
 }
 
 const maxEvents = 4096 // keep long campaigns from growing without bound

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// BenchmarkServe drives a glimpsed server the way the service is meant
+// to run: four concurrent sessions, a twelve-job multi-tenant stream at
+// a 3:1 budget split, a mid-stream drain with a restart on the same
+// state directory, and a final books check. Reported metrics
+// (BENCH_serve.json via `make bench-serve`):
+//
+//	jobs/s          sustained completion rate across drain + restart
+//	ttfp_p50_ms     median submit-to-first-progress latency
+//	ttfp_p99_ms     tail submit-to-first-progress latency
+//	lost_jobs       jobs not terminal after the restart — must be 0
+//	resumed_jobs    jobs that were re-queued by the drain and finished
+//	ledger_drift_s  |ledger GPU-seconds − Σ result GPU-seconds| — must be ~0
+func BenchmarkServe(b *testing.B) {
+	tk := testToolkit(b)
+	for i := 0; i < b.N; i++ {
+		benchServeOnce(b, fixedToolkits{tk})
+	}
+}
+
+type benchJob struct {
+	id        string
+	submitted time.Time
+	ttfp      time.Duration // submit → first step event; 0 if pre-drain stream saw none
+}
+
+func benchServeOnce(b *testing.B, provider ToolkitProvider) {
+	dir := b.TempDir()
+	newServer := func() (*Server, string) {
+		s, err := New(Config{
+			StateDir: dir,
+			Sessions: 4,
+			// A 20ms-per-batch floor stands in for real device time; it
+			// guarantees the mid-stream drain below interrupts live
+			// sessions, so the restart genuinely exercises resume.
+			NewMeasurer: func(gpu string) (measure.Measurer, func() error, error) {
+				m, err := measure.NewLocal(gpu)
+				return slowMeasurer{inner: m, delay: 20 * time.Millisecond}, func() error { return nil }, err
+			},
+			Toolkits: provider,
+			TenantBudgets: map[string]float64{
+				"alpha": 30_000,
+				"beta":  10_000,
+			},
+			Log: io.Discard,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := s.Start(context.Background(), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s, "http://" + addr
+	}
+
+	// The job stream: eight alpha jobs and four beta jobs across the
+	// toolkit's task set, distinct seeds so nothing short-circuits.
+	var specs []JobSpec
+	tasks := []struct {
+		model string
+		l     int
+	}{
+		{workload.ResNet18, 4}, {workload.ResNet18, 5}, {workload.ResNet18, 7},
+		{workload.ResNet18, 8}, {workload.ResNet18, 10}, {workload.ResNet18, 13},
+		{workload.AlexNet, 2}, {workload.AlexNet, 3}, {workload.AlexNet, 8},
+		{workload.AlexNet, 11}, {workload.VGG16, 8}, {workload.VGG16, 17},
+	}
+	for i, ref := range tasks {
+		tenant := "alpha"
+		if i%3 == 2 {
+			tenant = "beta"
+		}
+		specs = append(specs, JobSpec{
+			Model: ref.model, TaskIndex: ref.l, GPU: hwspec.TitanXp,
+			Seed: int64(100 + i), Tenant: tenant, MaxMeasurements: 32,
+		})
+	}
+
+	start := time.Now()
+	s1, base1 := newServer()
+	jobs := make([]*benchJob, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		jobs[i] = &benchJob{id: submitJob(b, base1, spec), submitted: time.Now()}
+		// One SSE watcher per job records time-to-first-progress. The
+		// stream closes on job completion or on the drain, whichever
+		// comes first; jobs still queued at drain time report no sample.
+		wg.Add(1)
+		go func(j *benchJob) {
+			defer wg.Done()
+			resp, err := http.Get(base1 + "/v1/jobs/" + j.id + "/events")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+			for sc.Scan() {
+				data, ok := strings.CutPrefix(sc.Text(), "data: ")
+				if !ok {
+					continue
+				}
+				var ev ProgressEvent
+				if json.Unmarshal([]byte(data), &ev) == nil && ev.Kind == "step" {
+					j.ttfp = time.Since(j.submitted)
+					return
+				}
+			}
+		}(jobs[i])
+	}
+
+	// Let the stream run until half the jobs have finished, then drain
+	// mid-flight: in-progress sessions checkpoint, the rest stay queued.
+	waitDone := func(base string, want int, timeout time.Duration) int {
+		deadline := time.Now().Add(timeout)
+		for {
+			done := 0
+			for _, v := range listJobs(b, base) {
+				if v.State.terminal() {
+					done++
+				}
+			}
+			if done >= want || time.Now().After(deadline) {
+				return done
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if done := waitDone(base1, len(specs)/3, 5*time.Minute); done < len(specs)/3 {
+		b.Fatalf("only %d jobs finished before drain deadline", done)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	if err := s1.Drain(dctx); err != nil {
+		cancel()
+		b.Fatal(err)
+	}
+	cancel()
+	wg.Wait() // drain severed every stream
+
+	// Read the drained journal: jobs re-queued with a measurement log on
+	// disk are the ones the restart will resume from a checkpoint.
+	resumed := 0
+	st, recovered, err := openStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range recovered {
+		if j.State.terminal() {
+			continue
+		}
+		if fi, err := os.Stat(st.measPath(j.ID)); err == nil && fi.Size() > 0 {
+			resumed++
+		}
+	}
+	if err := st.close(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Restart on the same state directory: checkpointed and queued jobs
+	// must all run to completion with nothing lost.
+	s2, base2 := newServer()
+	waitDone(base2, len(specs), 10*time.Minute)
+	lost := 0
+	var resultSeconds float64
+	for _, lv := range listJobs(b, base2) {
+		v := getJob(b, base2, lv.ID) // the list view omits results
+		if !v.State.terminal() {
+			lost++
+			continue
+		}
+		if v.State != StateDone {
+			b.Fatalf("job %s ended %s: %s", v.ID, v.State, v.Detail)
+		}
+		resultSeconds += v.Result.GPUSeconds
+	}
+	elapsed := time.Since(start)
+
+	// Books check: the recovered ledger's per-tenant GPU-second totals
+	// must reconcile exactly with what the sessions reported spending.
+	resp, err := http.Get(base2 + "/v1/tenants")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tv tenantsView
+	derr := json.NewDecoder(resp.Body).Decode(&tv)
+	if cerr := resp.Body.Close(); cerr != nil {
+		b.Fatal(cerr)
+	}
+	if derr != nil {
+		b.Fatal(derr)
+	}
+	var ledgerSeconds float64
+	for _, ts := range tv.Tenants {
+		ledgerSeconds += ts.GPUSeconds
+	}
+	drift := ledgerSeconds - resultSeconds
+	if drift < 0 {
+		drift = -drift
+	}
+
+	drainNow(b, s2)
+
+	if lost != 0 {
+		b.Fatalf("%d jobs lost across drain/restart", lost)
+	}
+	if resumed == 0 {
+		b.Fatal("drain interrupted no sessions — the restart resumed nothing")
+	}
+	if drift > 1e-6 {
+		b.Fatalf("ledger drift %.9f GPU-seconds (ledger %.6f vs results %.6f)",
+			drift, ledgerSeconds, resultSeconds)
+	}
+
+	var ttfps []time.Duration
+	for _, j := range jobs {
+		if j.ttfp > 0 {
+			ttfps = append(ttfps, j.ttfp)
+		}
+	}
+	sort.Slice(ttfps, func(i, k int) bool { return ttfps[i] < ttfps[k] })
+	pct := func(p float64) float64 {
+		if len(ttfps) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(ttfps)-1))
+		return float64(ttfps[idx].Microseconds()) / 1000
+	}
+	b.ReportMetric(float64(len(specs))/elapsed.Seconds(), "jobs/s")
+	b.ReportMetric(pct(0.50), "ttfp_p50_ms")
+	b.ReportMetric(pct(0.99), "ttfp_p99_ms")
+	b.ReportMetric(float64(lost), "lost_jobs")
+	b.ReportMetric(float64(resumed), "resumed_jobs")
+	b.ReportMetric(drift, "ledger_drift_s")
+}
+
+func listJobs(t testing.TB, base string) []jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []jobView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	return views
+}

@@ -1,0 +1,132 @@
+// Package server implements glimpsed, the long-running tuning service:
+// an HTTP daemon that accepts tuning jobs (workload + target GPU + budget
+// + tenant + priority), runs up to Config.Sessions of them concurrently
+// as resumable core.TuneSession step loops behind a tenant-fair priority
+// queue, streams per-step progress over SSE, serves exact cache hits and
+// warm starts from a tuned-config store, accounts every GPU second to the
+// submitting tenant, and drains gracefully: SIGTERM checkpoints every
+// in-flight session's measurement log so a restarted server finishes the
+// same jobs with byte-identical results and zero lost work.
+package server
+
+import (
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// JobSpec is a client's tuning request. Field order is part of the wire
+// contract (DESIGN.md §13): specs marshal in struct order, so submitted
+// jobs round-trip byte-stably through the job store and the API.
+type JobSpec struct {
+	Model     string `json:"model"`
+	TaskIndex int    `json:"task_index"` // 1-based, as in cmd/glimpse -tasks
+	GPU       string `json:"gpu"`
+	Seed      int64  `json:"seed,omitempty"` // 0 means 1, the cmd/glimpse default
+	Tenant    string `json:"tenant,omitempty"`
+	Priority  int    `json:"priority,omitempty"` // higher preempts lower within the queue
+	// Budget axes; with both zero the server default (192 measurements)
+	// applies. Patience 0 means the default (4); negative disables early
+	// stopping.
+	MaxMeasurements int     `json:"max_measurements,omitempty"`
+	MaxGPUSeconds   float64 `json:"max_gpu_seconds,omitempty"`
+	Patience        int     `json:"patience,omitempty"`
+	Epsilon         float64 `json:"epsilon,omitempty"`
+}
+
+// normalize applies server defaults in place. defaultBudget bounds
+// measurements when the spec leaves both budget axes unset.
+func (s *JobSpec) normalize(defaultBudget int) {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.MaxMeasurements <= 0 && s.MaxGPUSeconds <= 0 {
+		s.MaxMeasurements = defaultBudget
+	}
+	switch {
+	case s.Patience == 0:
+		s.Patience = 4
+	case s.Patience < 0:
+		s.Patience = 0
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.01
+	}
+}
+
+// validate resolves the workload and device references.
+func (s *JobSpec) validate() error {
+	if _, err := workload.TaskByIndex(s.Model, s.TaskIndex); err != nil {
+		return err
+	}
+	if _, err := hwspec.ByName(s.GPU); err != nil {
+		return err
+	}
+	return nil
+}
+
+// budget converts the normalized spec's budget axes.
+func (s *JobSpec) budget() tuner.Budget {
+	return tuner.Budget{
+		MaxMeasurements: s.MaxMeasurements,
+		MaxGPUSeconds:   s.MaxGPUSeconds,
+		Patience:        s.Patience,
+		Epsilon:         s.Epsilon,
+	}
+}
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job lifecycle: queued -> running -> done | failed | canceled, with
+// running -> queued on preemption or drain (the measurement log is the
+// checkpoint that makes re-running cheap).
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+func (st JobState) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+// Job is one tracked tuning job. Mutable fields are guarded by the
+// server mutex; handlers serve copies.
+type Job struct {
+	ID     string        `json:"id"`
+	Spec   JobSpec       `json:"spec"`
+	State  JobState      `json:"state"`
+	Detail string        `json:"detail,omitempty"`
+	Cached bool          `json:"cached,omitempty"` // served from the tuned-config store
+	Warm   bool          `json:"warm,omitempty"`   // warm-started from donor devices
+	Result *tuner.Result `json:"result,omitempty"`
+
+	seq int // arrival order; FIFO tie-break within (tenant, priority)
+}
+
+// ProgressEvent is one record on a job's SSE stream. The field order is
+// the documented wire order (DESIGN.md §13): records marshal in struct
+// order and carry no wall-clock fields, so the event stream for a given
+// job spec and seed is deterministic byte for byte — two runs of the same
+// job (or a drained run resumed on a fresh server) diff clean.
+type ProgressEvent struct {
+	Seq          int     `json:"seq"`
+	Job          string  `json:"job"`
+	Kind         string  `json:"kind"` // "state" | "step" | "result"
+	State        string  `json:"state,omitempty"`
+	Step         int     `json:"step,omitempty"`
+	Measurements int     `json:"measurements,omitempty"`
+	BestGFLOPS   float64 `json:"best_gflops,omitempty"`
+	GPUSeconds   float64 `json:"gpu_seconds,omitempty"`
+	Detail       string  `json:"detail,omitempty"`
+}
+
+func jobID(seq int) string { return fmt.Sprintf("j%d", seq) }

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"sync"
+
+	"github.com/neuralcompile/glimpse/internal/tuner"
+)
+
+// queue is the pending-job queue with deficit-fair tenant scheduling:
+// pop serves the eligible tenant with the smallest normalized spend
+// (tuner.Ledger.Share — GPU seconds over budget weight), so tenants with
+// unequal budgets converge on proportional GPU-second allocation instead
+// of first-come-first-served starvation. Within a tenant, higher
+// Priority runs first, then arrival order.
+type queue struct {
+	mu     sync.Mutex
+	items  []*Job
+	ledger *tuner.Ledger
+
+	// wake is the worker doorbell: push rings it after releasing the
+	// lock (lockcheck: no channel sends under a mutex), workers wait on
+	// it when pop returns nil. The buffer absorbs bursts; a dropped ring
+	// is harmless because workers drain the queue in a loop before
+	// sleeping again.
+	wake chan struct{}
+}
+
+func newQueue(ledger *tuner.Ledger) *queue {
+	return &queue{ledger: ledger, wake: make(chan struct{}, 64)}
+}
+
+// push appends a job and rings the doorbell. Admission control (queue
+// depth caps, drain rejection) happens at the HTTP layer: requeues from
+// preemption and drain must never be refused.
+func (q *queue) push(j *Job) {
+	q.mu.Lock()
+	q.items = append(q.items, j)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes and returns the next job to run, or nil when the queue is
+// empty. Selection is deterministic: minimal tenant share, then maximal
+// priority, then arrival order.
+func (q *queue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	shares := map[string]float64{}
+	for _, j := range q.items {
+		if _, ok := shares[j.Spec.Tenant]; !ok {
+			shares[j.Spec.Tenant] = q.ledger.Share(j.Spec.Tenant)
+		}
+	}
+	best := 0
+	for i := 1; i < len(q.items); i++ {
+		if q.less(q.items[i], q.items[best], shares) {
+			best = i
+		}
+	}
+	j := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return j
+}
+
+// less orders candidate a before b under the fairness policy.
+func (q *queue) less(a, b *Job, shares map[string]float64) bool {
+	sa, sb := shares[a.Spec.Tenant], shares[b.Spec.Tenant]
+	if sa < sb {
+		return true
+	}
+	if sb < sa {
+		return false
+	}
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+// remove deletes a pending job by ID (cancelation), reporting whether it
+// was queued.
+func (q *queue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns the number of pending jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

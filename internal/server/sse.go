@@ -1,0 +1,114 @@
+package server
+
+import "sync"
+
+// hub fans a job's ProgressEvents out to any number of SSE subscribers
+// losslessly: every published event is retained for the job's lifetime
+// and subscribers read by cursor, so a client that connects late (or
+// re-connects after a network drop) replays the full stream from seq 1
+// and still ends byte-identical to a client that watched live. Ordering
+// and content are deterministic per job; only inter-job interleaving
+// varies with scheduling.
+type hub struct {
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+type stream struct {
+	events []ProgressEvent
+	done   bool // terminal: no further events will be published
+	// notify is closed (and replaced) on every publish and on close, the
+	// broadcast that wakes cursor-waiting subscribers.
+	notify chan struct{}
+}
+
+func newHub() *hub {
+	return &hub{streams: map[string]*stream{}}
+}
+
+func (h *hub) stream(jobID string) *stream {
+	st, ok := h.streams[jobID]
+	if !ok {
+		st = &stream{notify: make(chan struct{})}
+		h.streams[jobID] = st
+	}
+	return st
+}
+
+// publish appends an event to the job's stream, assigning its per-job
+// sequence number, and wakes subscribers. Publishing to a closed stream
+// is ignored.
+func (h *hub) publish(jobID string, ev ProgressEvent) {
+	h.mu.Lock()
+	st := h.stream(jobID)
+	if st.done {
+		h.mu.Unlock()
+		return
+	}
+	ev.Seq = len(st.events) + 1
+	ev.Job = jobID
+	st.events = append(st.events, ev)
+	old := st.notify
+	st.notify = make(chan struct{})
+	h.mu.Unlock()
+	close(old)
+}
+
+// close marks the job's stream terminal and wakes subscribers so they
+// can flush the tail and return.
+func (h *hub) close(jobID string) {
+	h.mu.Lock()
+	st := h.stream(jobID)
+	if st.done {
+		h.mu.Unlock()
+		return
+	}
+	st.done = true
+	old := st.notify
+	st.notify = make(chan struct{})
+	h.mu.Unlock()
+	close(old)
+}
+
+// closeAll severs every stream (server drain): subscribers drain what
+// was published and disconnect.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	var wakes []chan struct{}
+	for _, st := range h.streams {
+		if !st.done {
+			st.done = true
+			wakes = append(wakes, st.notify)
+			st.notify = make(chan struct{})
+		}
+	}
+	h.mu.Unlock()
+	for _, ch := range wakes {
+		close(ch)
+	}
+}
+
+// since returns the events past the cursor, whether the stream is
+// terminal, and a channel that is closed on the next publish/close —
+// the subscriber's wait handle when it has caught up.
+func (h *hub) since(jobID string, cursor int) (evs []ProgressEvent, done bool, wait <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stream(jobID)
+	if cursor < len(st.events) {
+		evs = append(evs, st.events[cursor:]...)
+	}
+	return evs, st.done, st.notify
+}
+
+// history returns a copy of everything published so far (test and
+// debugging hook).
+func (h *hub) history(jobID string) []ProgressEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[jobID]
+	if !ok {
+		return nil
+	}
+	return append([]ProgressEvent(nil), st.events...)
+}

@@ -1,0 +1,88 @@
+package tlog
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+// ErrReplayDiverged reports that a resumed session requested a batch that
+// does not match the recorded log — the checkpoint belongs to a different
+// seed, config, or code version, and replaying it would corrupt the
+// session state.
+var ErrReplayDiverged = errors.New("tlog: replay diverged from recorded log")
+
+// ErrReplayShort reports a recorded log that ends inside a batch (a
+// writer killed mid-append). The tail cannot be replayed safely; callers
+// should discard the log and restart the session from scratch —
+// determinism guarantees the rerun converges to the same result.
+var ErrReplayShort = errors.New("tlog: recorded log ends mid-batch")
+
+// Replayer is the resume half of the checkpoint discipline: it serves a
+// previously recorded measurement log back to a deterministic tuning
+// session batch by batch, then hands through to the real Measurer once
+// the log is exhausted. Because every stage of a Glimpse session is
+// deterministic given its seed and its measurement results, re-driving a
+// fresh session against a Replayer reconstructs the exact state — RNG
+// position included — at which the recorded session stopped, without
+// spending any new GPU seconds on the replayed prefix.
+//
+// Replay is strict: each requested batch must match the next recorded
+// entries exactly (same task, same config indices, same order), otherwise
+// MeasureBatch returns ErrReplayDiverged. A log that ends mid-batch
+// returns ErrReplayShort. A Replayer drives one session; it is not safe
+// for concurrent use.
+type Replayer struct {
+	inner   measure.Measurer
+	entries []Entry
+	pos     int
+}
+
+// NewReplayer builds a Replayer over recorded entries; inner serves every
+// measurement after the log runs out (wrap it in a RecordingMeasurer
+// appending to the same log to keep the checkpoint growing).
+func NewReplayer(entries []Entry, inner measure.Measurer) *Replayer {
+	return &Replayer{inner: inner, entries: entries}
+}
+
+// Replaying reports whether recorded entries remain to be served.
+func (r *Replayer) Replaying() bool { return r.pos < len(r.entries) }
+
+// Consumed returns how many recorded entries have been served.
+func (r *Replayer) Consumed() int { return r.pos }
+
+// MeasureBatch serves the batch from the recorded log while it lasts,
+// then delegates to the inner measurer.
+func (r *Replayer) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
+	if r.pos >= len(r.entries) {
+		return r.inner.MeasureBatch(task, sp, idxs)
+	}
+	if r.pos+len(idxs) > len(r.entries) {
+		return nil, fmt.Errorf("%w: batch of %d requested with %d entries left",
+			ErrReplayShort, len(idxs), len(r.entries)-r.pos)
+	}
+	out := make([]gpusim.Result, len(idxs))
+	for i, idx := range idxs {
+		e := r.entries[r.pos+i]
+		if e.ConfigIndex != idx || e.Model != task.Model || e.TaskIndex != task.Index {
+			return nil, fmt.Errorf("%w: entry %d recorded %s[%d] config %d, session requested %s[%d] config %d",
+				ErrReplayDiverged, e.Seq, e.Model, e.TaskIndex, e.ConfigIndex, task.Model, task.Index, idx)
+		}
+		out[i] = gpusim.Result{
+			Valid:      e.Valid,
+			FailReason: e.FailReason,
+			TimeMS:     e.TimeMS,
+			GFLOPS:     e.GFLOPS,
+			CostSec:    e.CostSec,
+		}
+	}
+	r.pos += len(idxs)
+	return out, nil
+}
+
+// DeviceName identifies the underlying device.
+func (r *Replayer) DeviceName() string { return r.inner.DeviceName() }

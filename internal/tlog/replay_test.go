@@ -1,0 +1,121 @@
+package tlog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/workload"
+)
+
+func replayFixture(t *testing.T) (workload.Task, *space.Space, *measure.Local) {
+	t.Helper()
+	task, err := workload.TaskByIndex(workload.ResNet18, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, space.MustForTask(task), measure.MustNewLocal(hwspec.TitanXp)
+}
+
+// TestReplayerServesRecordedBatches pins the resume contract: a session
+// re-driven against the recorded log sees byte-identical results without
+// touching the real measurer, and the log hand-off to the inner measurer
+// is seamless.
+func TestReplayerServesRecordedBatches(t *testing.T) {
+	task, sp, local := replayFixture(t)
+	var buf bytes.Buffer
+	rec := &RecordingMeasurer{Inner: local, Out: NewWriter(&buf, 0)}
+	b1 := []int64{0, 1, 2}
+	b2 := []int64{3, 4}
+	r1, err := rec.MeasureBatch(task, sp, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rec.MeasureBatch(task, sp, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplayer(entries, local)
+	g1, err := rp.MeasureBatch(task, sp, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1 {
+		if g1[i] != r1[i] {
+			t.Fatalf("replayed batch 1 result %d = %+v, recorded %+v", i, g1[i], r1[i])
+		}
+	}
+	if !rp.Replaying() {
+		t.Fatal("replayer exhausted after first batch")
+	}
+	g2, err := rp.MeasureBatch(task, sp, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g2 {
+		if g2[i] != r2[i] {
+			t.Fatalf("replayed batch 2 result %d = %+v, recorded %+v", i, g2[i], r2[i])
+		}
+	}
+	if rp.Replaying() || rp.Consumed() != 5 {
+		t.Fatalf("replayer state after drain: replaying=%v consumed=%d", rp.Replaying(), rp.Consumed())
+	}
+	// Past the log, calls reach the inner measurer.
+	if _, err := rp.MeasureBatch(task, sp, []int64{5}); err != nil {
+		t.Fatalf("post-log measurement: %v", err)
+	}
+}
+
+func TestReplayerDivergenceIsAnError(t *testing.T) {
+	task, sp, local := replayFixture(t)
+	var buf bytes.Buffer
+	rec := &RecordingMeasurer{Inner: local, Out: NewWriter(&buf, 0)}
+	if _, err := rec.MeasureBatch(task, sp, []int64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rp := NewReplayer(entries, local)
+	if _, err := rp.MeasureBatch(task, sp, []int64{0, 9, 2}); !errors.Is(err, ErrReplayDiverged) {
+		t.Fatalf("mismatched config indices: err = %v, want ErrReplayDiverged", err)
+	}
+
+	// A different task over the same indices must also refuse.
+	other, err := workload.TaskByIndex(workload.ResNet18, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osp := space.MustForTask(other)
+	rp = NewReplayer(entries, local)
+	if _, err := rp.MeasureBatch(other, osp, []int64{0, 1, 2}); !errors.Is(err, ErrReplayDiverged) {
+		t.Fatalf("mismatched task: err = %v, want ErrReplayDiverged", err)
+	}
+}
+
+func TestReplayerShortLogIsAnError(t *testing.T) {
+	task, sp, local := replayFixture(t)
+	var buf bytes.Buffer
+	rec := &RecordingMeasurer{Inner: local, Out: NewWriter(&buf, 0)}
+	if _, err := rec.MeasureBatch(task, sp, []int64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewReplayer(entries, local)
+	if _, err := rp.MeasureBatch(task, sp, []int64{0, 1, 2}); !errors.Is(err, ErrReplayShort) {
+		t.Fatalf("mid-batch log end: err = %v, want ErrReplayShort", err)
+	}
+}

@@ -1,0 +1,158 @@
+package tuner
+
+import (
+	"sort"
+	"sync"
+)
+
+// TenantSpend is one tenant's accumulated tuning spend. Field order is
+// part of the streamed-JSON contract (see DESIGN.md §13): records
+// marshal in struct order, so accounting snapshots are diffable across
+// runs and servers.
+type TenantSpend struct {
+	Tenant           string  `json:"tenant"`
+	Jobs             int     `json:"jobs"`
+	Measurements     int     `json:"measurements"`
+	GPUSeconds       float64 `json:"gpu_seconds"`
+	BudgetGPUSeconds float64 `json:"budget_gpu_seconds,omitempty"` // 0: unlimited
+}
+
+// Ledger is the per-tenant budget accounting shared by a multi-tenant
+// tuning service: every session step charges its GPU-second and
+// measurement cost to the submitting tenant, and the scheduler reads
+// normalized shares back to keep tenants with unequal budgets fairly
+// served. All methods are safe for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	budgets map[string]float64
+	spend   map[string]*TenantSpend
+}
+
+// NewLedger returns an empty ledger; tenants appear on first charge or
+// SetBudget.
+func NewLedger() *Ledger {
+	return &Ledger{budgets: map[string]float64{}, spend: map[string]*TenantSpend{}}
+}
+
+func (l *Ledger) entry(tenant string) *TenantSpend {
+	e, ok := l.spend[tenant]
+	if !ok {
+		e = &TenantSpend{Tenant: tenant}
+		l.spend[tenant] = e
+	}
+	return e
+}
+
+// SetBudget bounds a tenant's total GPU seconds; non-positive means
+// unlimited. The budget doubles as the tenant's fair-share weight (see
+// Share): a tenant with 3x the budget is entitled to 3x the GPU seconds
+// per scheduling round.
+func (l *Ledger) SetBudget(tenant string, gpuSeconds float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if gpuSeconds <= 0 {
+		delete(l.budgets, tenant)
+		if e, ok := l.spend[tenant]; ok {
+			e.BudgetGPUSeconds = 0
+		}
+		return
+	}
+	l.budgets[tenant] = gpuSeconds
+	l.entry(tenant).BudgetGPUSeconds = gpuSeconds
+}
+
+// Charge debits gpuSeconds and measurements to the tenant.
+func (l *Ledger) Charge(tenant string, gpuSeconds float64, measurements int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entry(tenant)
+	e.GPUSeconds += gpuSeconds
+	e.Measurements += measurements
+}
+
+// AddJob counts one completed job against the tenant.
+func (l *Ledger) AddJob(tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entry(tenant).Jobs++
+}
+
+// Spend returns the tenant's accumulated spend (zero value for an unknown
+// tenant).
+func (l *Ledger) Spend(tenant string) TenantSpend {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.spend[tenant]; ok {
+		out := *e
+		out.BudgetGPUSeconds = l.budgets[tenant]
+		return out
+	}
+	return TenantSpend{Tenant: tenant, BudgetGPUSeconds: l.budgets[tenant]}
+}
+
+// Remaining returns the tenant's unspent GPU seconds and whether the
+// tenant is bounded at all (bounded=false means unlimited).
+func (l *Ledger) Remaining(tenant string) (remaining float64, bounded bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	budget, ok := l.budgets[tenant]
+	if !ok {
+		return 0, false
+	}
+	spent := 0.0
+	if e, found := l.spend[tenant]; found {
+		spent = e.GPUSeconds
+	}
+	left := budget - spent
+	if left < 0 {
+		left = 0
+	}
+	return left, true
+}
+
+// Share returns the tenant's normalized spend — GPU seconds divided by
+// its budget weight (1 for unbudgeted tenants). A fair scheduler serves
+// the eligible tenant with the smallest share next, which converges on
+// GPU-second allocation proportional to budgets.
+func (l *Ledger) Share(tenant string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	weight := l.budgets[tenant]
+	if weight <= 0 {
+		weight = 1
+	}
+	spent := 0.0
+	if e, ok := l.spend[tenant]; ok {
+		spent = e.GPUSeconds
+	}
+	return spent / weight
+}
+
+// Snapshot returns every tenant's spend, sorted by tenant name so
+// accounting endpoints render deterministically.
+func (l *Ledger) Snapshot() []TenantSpend {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.spend)+len(l.budgets))
+	seen := map[string]bool{}
+	for name := range l.spend {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range l.budgets {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]TenantSpend, 0, len(names))
+	for _, name := range names {
+		e := TenantSpend{Tenant: name}
+		if s, ok := l.spend[name]; ok {
+			e = *s
+		}
+		e.BudgetGPUSeconds = l.budgets[name]
+		out = append(out, e)
+	}
+	return out
+}

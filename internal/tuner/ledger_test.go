@@ -1,0 +1,103 @@
+package tuner
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLedgerChargeAndSpend(t *testing.T) {
+	l := NewLedger()
+	l.Charge("acme", 2.5, 16)
+	l.Charge("acme", 1.5, 16)
+	l.AddJob("acme")
+	got := l.Spend("acme")
+	if got.GPUSeconds != 4.0 || got.Measurements != 32 || got.Jobs != 1 {
+		t.Fatalf("spend = %+v", got)
+	}
+	if zero := l.Spend("ghost"); zero.GPUSeconds != 0 || zero.Tenant != "ghost" {
+		t.Fatalf("unknown tenant spend = %+v", zero)
+	}
+}
+
+func TestLedgerRemaining(t *testing.T) {
+	l := NewLedger()
+	if _, bounded := l.Remaining("acme"); bounded {
+		t.Fatal("unbudgeted tenant reported bounded")
+	}
+	l.SetBudget("acme", 10)
+	l.Charge("acme", 4, 1)
+	if left, bounded := l.Remaining("acme"); !bounded || left != 6 {
+		t.Fatalf("remaining = %v bounded=%v", left, bounded)
+	}
+	l.Charge("acme", 100, 1)
+	if left, _ := l.Remaining("acme"); left != 0 {
+		t.Fatalf("overspent tenant remaining = %v, want 0", left)
+	}
+	l.SetBudget("acme", 0) // unlimited again
+	if _, bounded := l.Remaining("acme"); bounded {
+		t.Fatal("budget clear did not unbound tenant")
+	}
+}
+
+// TestLedgerShare pins the fairness weighting: share is spend normalized
+// by budget, so a tenant with 3x the budget is entitled to 3x the spend
+// before its share catches up.
+func TestLedgerShare(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget("small", 1)
+	l.SetBudget("big", 3)
+	l.Charge("small", 1, 0)
+	l.Charge("big", 3, 0)
+	if a, b := l.Share("small"), l.Share("big"); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("proportional spends should equalize shares: %v vs %v", a, b)
+	}
+	l.Charge("small", 1, 0)
+	if l.Share("small") <= l.Share("big") {
+		t.Fatal("extra spend did not raise the small tenant's share")
+	}
+	if l.Share("unbudgeted") != 0 {
+		t.Fatal("fresh tenant share should be zero")
+	}
+}
+
+func TestLedgerSnapshotSortedAndStable(t *testing.T) {
+	l := NewLedger()
+	l.SetBudget("zeta", 5)
+	l.Charge("alpha", 1.25, 8)
+	l.AddJob("alpha")
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Tenant != "alpha" || snap[1].Tenant != "zeta" {
+		t.Fatalf("snapshot order = %+v", snap)
+	}
+	// The accounting record is part of the streamed-JSON contract: struct
+	// field order is the wire order, pinned byte-for-byte.
+	data, err := json.Marshal(snap[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"tenant":"alpha","jobs":1,"measurements":8,"gpu_seconds":1.25}`
+	if string(data) != want {
+		t.Fatalf("TenantSpend JSON drifted:\n got %s\nwant %s", data, want)
+	}
+}
+
+func TestLedgerConcurrentCharge(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Charge("acme", 0.5, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	got := l.Spend("acme")
+	if got.Measurements != 800 || math.Abs(got.GPUSeconds-400) > 1e-9 {
+		t.Fatalf("concurrent charges lost: %+v", got)
+	}
+}
