@@ -121,6 +121,18 @@ bench-serve:
 		| $(GO) run ./cmd/benchjson > BENCH_serve.json
 	@echo wrote BENCH_serve.json
 
+# Soft regression gate: rerun the observability benchmarks and diff them
+# against the committed BENCH_obs.json baseline with cmd/benchdiff
+# (>20% ns/op or allocs/op growth fails). CI runs this as a soft gate —
+# the diff is surfaced as an annotation and artifact, not a red build,
+# because shared runners are too noisy for a hard 20% wall.
+.PHONY: bench-diff
+bench-diff:
+	$(GO) test -bench 'BenchmarkTracer|BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkReliableOverhead' \
+		-benchmem -run '^$$' ./internal/telemetry/... ./internal/measure/... \
+		| $(GO) run ./cmd/benchjson \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_obs.json
+
 .PHONY: fmt
 fmt:
 	gofmt -w cmd internal examples

@@ -1,0 +1,144 @@
+// Command benchdiff compares a fresh benchmark run (benchjson output)
+// against a committed baseline and fails when a benchmark regressed.
+//
+// Usage:
+//
+//	go test -bench ... | benchjson | benchdiff -baseline BENCH_obs.json
+//	benchdiff -baseline BENCH_obs.json fresh.json
+//
+// A benchmark regresses when its fresh ns/op exceeds the baseline by more
+// than -threshold (default 20%) and the absolute time is above -floor-ns
+// (sub-floor benchmarks are timer-resolution noise), or when its allocs/op
+// grew by more than the same threshold. Benchmarks present in only one
+// side are reported but never fail the diff — CI machines differ, new
+// benchmarks appear, and the gate should only trip on like-for-like
+// regressions. Exit status 1 means at least one regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+)
+
+// record mirrors the benchjson output schema (cmd/benchjson).
+type record struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON (benchjson output); required")
+	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance (0.20 = +20%)")
+	floorNS := flag.Float64("floor-ns", 20, "ignore ns/op regressions entirely below this absolute time")
+	flag.Parse()
+	if *baseline == "" {
+		fail(fmt.Errorf("-baseline is required"))
+	}
+
+	base, err := readRecords(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	var fresh []record
+	if flag.NArg() > 0 {
+		fresh, err = readRecords(flag.Arg(0))
+	} else {
+		fresh, err = decodeRecords(os.Stdin, "stdin")
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	table, regressions := diff(base, fresh, *threshold, *floorNS)
+	fmt.Print(table.String())
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+}
+
+// diff compares fresh records to the baseline by name and returns the
+// rendered comparison plus the number of regressions.
+func diff(base, fresh []record, threshold, floorNS float64) (*metrics.Table, int) {
+	byName := map[string]record{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	seen := map[string]bool{}
+	table := metrics.NewTable("Benchmark diff",
+		"benchmark", "base ns/op", "fresh ns/op", "delta", "base allocs", "fresh allocs", "verdict")
+	regressions := 0
+	for _, f := range fresh {
+		b, ok := byName[f.Name]
+		if !ok {
+			table.AddRow(f.Name, "-", fmt.Sprintf("%.4g", f.NsPerOp), "-", "-",
+				fmt.Sprintf("%.0f", f.AllocsOp), "new")
+			continue
+		}
+		seen[f.Name] = true
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (f.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		verdict := "ok"
+		nsBad := f.NsPerOp > b.NsPerOp*(1+threshold) && f.NsPerOp > floorNS
+		allocBad := f.AllocsOp > b.AllocsOp*(1+threshold) && f.AllocsOp > b.AllocsOp
+		switch {
+		case nsBad && allocBad:
+			verdict = "REGRESSED (time, allocs)"
+		case nsBad:
+			verdict = "REGRESSED (time)"
+		case allocBad:
+			verdict = "REGRESSED (allocs)"
+		}
+		if verdict != "ok" {
+			regressions++
+		}
+		table.AddRow(f.Name,
+			fmt.Sprintf("%.4g", b.NsPerOp), fmt.Sprintf("%.4g", f.NsPerOp),
+			fmt.Sprintf("%+.1f%%", delta*100),
+			fmt.Sprintf("%.0f", b.AllocsOp), fmt.Sprintf("%.0f", f.AllocsOp),
+			verdict)
+	}
+	for _, b := range base {
+		if !seen[b.Name] {
+			// In the baseline but not the fresh run (filtered by the
+			// -bench regex, perhaps). Informational only.
+			table.AddRow(b.Name, fmt.Sprintf("%.4g", b.NsPerOp), "-", "-",
+				fmt.Sprintf("%.0f", b.AllocsOp), "-", "missing from fresh run")
+			seen[b.Name] = true
+		}
+	}
+	return table, regressions
+}
+
+func readRecords(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeRecords(f, path)
+}
+
+func decodeRecords(r io.Reader, name string) ([]record, error) {
+	var recs []record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", name)
+	}
+	return recs, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffVerdicts(t *testing.T) {
+	base := []record{
+		{Name: "Steady", NsPerOp: 100, AllocsOp: 2},
+		{Name: "Slower", NsPerOp: 100, AllocsOp: 2},
+		{Name: "Allocy", NsPerOp: 100, AllocsOp: 2},
+		{Name: "Both", NsPerOp: 100, AllocsOp: 2},
+		{Name: "TinyNoise", NsPerOp: 4, AllocsOp: 0},
+		{Name: "Gone", NsPerOp: 50, AllocsOp: 1},
+	}
+	fresh := []record{
+		{Name: "Steady", NsPerOp: 115, AllocsOp: 2},  // +15% < threshold
+		{Name: "Slower", NsPerOp: 150, AllocsOp: 2},  // +50% time
+		{Name: "Allocy", NsPerOp: 100, AllocsOp: 3},  // +50% allocs
+		{Name: "Both", NsPerOp: 200, AllocsOp: 4},    // both
+		{Name: "TinyNoise", NsPerOp: 8, AllocsOp: 0}, // +100% but below floor
+		{Name: "Fresh", NsPerOp: 1000, AllocsOp: 10}, // not in baseline
+	}
+	table, regressions := diff(base, fresh, 0.20, 20)
+	if regressions != 3 {
+		t.Fatalf("regressions = %d, want 3 (Slower, Allocy, Both):\n%s", regressions, table.String())
+	}
+	out := table.String()
+	checks := map[string]string{
+		"Steady":    "ok",
+		"Slower":    "REGRESSED (time)",
+		"Allocy":    "REGRESSED (allocs)",
+		"Both":      "REGRESSED (time, allocs)",
+		"TinyNoise": "ok",
+		"Fresh":     "new",
+		"Gone":      "missing from fresh run",
+	}
+	for _, line := range strings.Split(out, "\n") {
+		for name, verdict := range checks {
+			if !strings.Contains(line, name) {
+				continue
+			}
+			if !strings.Contains(line, verdict) {
+				t.Fatalf("%s: want verdict %q in line %q", name, verdict, line)
+			}
+			delete(checks, name)
+		}
+	}
+	if len(checks) != 0 {
+		t.Fatalf("rows missing from the table: %v\n%s", checks, out)
+	}
+}
+
+// TestDiffAllocGrowthNeedsAbsoluteIncrease: the alloc gate requires the
+// count to actually grow — a 0→0 or equal count can never regress, even
+// though 0*(1+threshold) == 0.
+func TestDiffAllocGrowthNeedsAbsoluteIncrease(t *testing.T) {
+	base := []record{{Name: "ZeroAlloc", NsPerOp: 5, AllocsOp: 0}}
+	fresh := []record{{Name: "ZeroAlloc", NsPerOp: 5, AllocsOp: 0}}
+	if _, n := diff(base, fresh, 0.20, 20); n != 0 {
+		t.Fatalf("zero-alloc steady state flagged as regression (%d)", n)
+	}
+	fresh[0].AllocsOp = 1
+	if _, n := diff(base, fresh, 0.20, 20); n != 1 {
+		t.Fatal("0 -> 1 alloc growth must regress")
+	}
+}
+
+func TestDecodeRecordsRejectsEmpty(t *testing.T) {
+	if _, err := decodeRecords(strings.NewReader("[]"), "x"); err == nil {
+		t.Fatal("empty record list accepted")
+	}
+	if _, err := decodeRecords(strings.NewReader("{"), "x"); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	recs, err := decodeRecords(strings.NewReader(`[{"name":"A","ns_per_op":3}]`), "x")
+	if err != nil || len(recs) != 1 || recs[0].Name != "A" {
+		t.Fatalf("decode: %v %+v", err, recs)
+	}
+}

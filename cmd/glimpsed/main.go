@@ -11,7 +11,17 @@
 //	glimpsed -state /var/lib/glimpsed [-addr :8743] [-sessions 4]
 //	         [-queue-depth 256] [-budget 192] [-cache path] [-warm-k 3]
 //	         [-cache-readonly] [-artifacts dir] [-tenant-budget a=120,b=40]
-//	         [-drain 2m]
+//	         [-drain 2m] [-endpoints host:4817,host2:4817] [-trace out.jsonl]
+//	         [-slo-ttfp-ms 5000 -slo-ttfp-objective 0.95] [-slo-availability 0.99]
+//
+// -endpoints measures over net/rpc against remote measured daemons instead
+// of the in-process simulator, spreading jobs across the listed endpoints
+// round-robin. -trace writes the service's side of each job's distributed
+// trace as JSONL (span IDs prefixed "glimpsed/"); merge it with the
+// endpoints' trace files via `tracereport -merge`. The SLO flags enable
+// /telemetryz error-budget tracking and burn stamps on terminal SSE events.
+// Per-tenant service metrics are always on: `GET /metricsz` (text) and
+// `GET /telemetryz` (JSON, what cmd/glimpsetop polls).
 //
 // A second SIGTERM/SIGINT during the drain forces an immediate close
 // (journals stay consistent; interrupted sessions still resume).
@@ -39,10 +49,13 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/server"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +70,11 @@ func main() {
 	artifacts := flag.String("artifacts", "", "server mode: directory for trained toolkit artifacts")
 	tenantBudgets := flag.String("tenant-budget", "", "server mode: per-tenant GPU-second budgets, name=seconds[,name=seconds...]")
 	drainTimeout := flag.Duration("drain", 2*time.Minute, "server mode: graceful drain deadline on SIGTERM")
+	endpoints := flag.String("endpoints", "", "server mode: comma-separated measured RPC endpoints (empty: in-process simulator)")
+	tracePath := flag.String("trace", "", "server mode: write distributed-trace JSONL here (empty: tracing off)")
+	sloTTFPMS := flag.Float64("slo-ttfp-ms", 0, "server mode: time-to-first-progress SLO threshold in ms")
+	sloTTFPObj := flag.Float64("slo-ttfp-objective", 0, "server mode: target fraction of jobs under -slo-ttfp-ms (0: off)")
+	sloAvail := flag.Float64("slo-availability", 0, "server mode: target fraction of terminal jobs finishing done (0: off)")
 
 	serverURL := flag.String("server", "", "client mode: glimpsed base URL (e.g. http://localhost:8743)")
 	submit := flag.String("submit", "", "client mode: submit one JobSpec (JSON literal, or @path)")
@@ -80,7 +98,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		StateDir:      *state,
 		Sessions:      *sessions,
 		MaxQueued:     *queueDepth,
@@ -90,7 +108,25 @@ func main() {
 		CacheReadOnly: *cacheReadonly,
 		WarmK:         *warmK,
 		ArtifactsDir:  *artifacts,
-	})
+		SLOs: server.SLOConfig{
+			TTFPThresholdMS: *sloTTFPMS,
+			TTFPObjective:   *sloTTFPObj,
+			AvailObjective:  *sloAvail,
+		},
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		traceFile = tf
+		cfg.Tracer = telemetry.NewTracerProc(tf, nil, "glimpsed")
+	}
+	if *endpoints != "" {
+		cfg.NewMeasurer = endpointMeasurer(splitList(*endpoints))
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -110,7 +146,48 @@ func main() {
 	if err := srv.DrainForced(dctx, sig); err != nil {
 		fail(err)
 	}
+	if traceFile != nil {
+		if terr := cfg.Tracer.Err(); terr != nil {
+			fmt.Fprintln(os.Stderr, "glimpsed: trace:", terr)
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "glimpsed: trace:", cerr)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "glimpsed: drained; queued and checkpointed jobs resume on restart")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// endpointMeasurer builds jobs' measurement backends from a pool of
+// measured daemons: each job dials the next endpoint hosting its GPU,
+// round-robin, so concurrent sessions spread across the fleet. The
+// connection is per-job (closed when the job stops), matching the
+// in-process default's lifecycle.
+func endpointMeasurer(eps []string) func(gpu string) (measure.Measurer, func() error, error) {
+	var next atomic.Int64
+	return func(gpu string) (measure.Measurer, func() error, error) {
+		start := int(next.Add(1)-1) % len(eps)
+		var lastErr error
+		for k := 0; k < len(eps); k++ {
+			addr := eps[(start+k)%len(eps)]
+			r, err := measure.Dial(addr, gpu)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return r, r.Close, nil
+		}
+		return nil, nil, fmt.Errorf("no endpoint hosts %s: %w", gpu, lastErr)
+	}
 }
 
 func parseTenantBudgets(s string) (map[string]float64, error) {

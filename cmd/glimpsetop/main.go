@@ -1,0 +1,223 @@
+// Command glimpsetop is a live terminal view of a running glimpsed
+// daemon: it polls GET /telemetryz and redraws a dashboard of service
+// shape (sessions, queue, drain state), per-tenant spend against budget,
+// SLO error-budget burn, per-tenant latency percentiles (queue wait,
+// time-to-first-progress, step), and outcome counters.
+//
+// Usage:
+//
+//	glimpsetop [-server http://127.0.0.1:8743] [-interval 2s] [-once]
+//
+// -once fetches and prints a single frame without clearing the screen
+// (useful for scripts and tests); otherwise glimpsetop redraws every
+// interval until interrupted.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/neuralcompile/glimpse/internal/metrics"
+	"github.com/neuralcompile/glimpse/internal/server"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+)
+
+// topView mirrors the server's /telemetryz body (server.telemetryView).
+type topView struct {
+	Draining bool                `json:"draining"`
+	Sessions int                 `json:"sessions"`
+	Queued   int                 `json:"queued"`
+	Running  int                 `json:"running"`
+	Jobs     int                 `json:"jobs"`
+	Tenants  []tuner.TenantSpend `json:"tenants"`
+	SLOs     []server.SLOStatus  `json:"slos"`
+	Metrics  telemetry.Snapshot  `json:"metrics"`
+}
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8743", "glimpsed base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	base := strings.TrimRight(*serverURL, "/")
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		view, err := fetch(ctx, base)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "glimpsetop:", err)
+			if *once {
+				os.Exit(1)
+			}
+		default:
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			fmt.Print(render(base, view))
+		}
+		if *once {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// fetch polls one /telemetryz frame, honoring ctx for cancellation so an
+// interrupt mid-request exits promptly.
+func fetch(ctx context.Context, base string) (topView, error) {
+	var v topView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/telemetryz", nil)
+	if err != nil {
+		return v, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return v, fmt.Errorf("/telemetryz: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, fmt.Errorf("/telemetryz: %w", err)
+	}
+	return v, nil
+}
+
+// tenantRow is the per-tenant slice of the metrics snapshot: latency
+// histograms and outcome counters regrouped from the labeled families.
+type tenantRow struct {
+	hists    map[string]telemetry.HistogramSnap // family -> snap
+	counters map[string]float64                 // family -> value
+}
+
+// regroup indexes the labeled metric families by tenant. Families without
+// a tenant label are skipped — glimpsetop shows the per-tenant view.
+func regroup(m telemetry.Snapshot) (map[string]*tenantRow, []string) {
+	rows := map[string]*tenantRow{}
+	row := func(tenant string) *tenantRow {
+		r, ok := rows[tenant]
+		if !ok {
+			r = &tenantRow{hists: map[string]telemetry.HistogramSnap{}, counters: map[string]float64{}}
+			rows[tenant] = r
+		}
+		return r
+	}
+	for _, h := range m.Histograms {
+		if family, tenant := telemetry.SplitLabel(h.Name); tenant != "" {
+			row(tenant).hists[family] = h
+		}
+	}
+	for _, c := range m.Counters {
+		if family, tenant := telemetry.SplitLabel(c.Name); tenant != "" {
+			row(tenant).counters[family] = c.Value
+		}
+	}
+	for _, c := range m.Floats {
+		if family, tenant := telemetry.SplitLabel(c.Name); tenant != "" {
+			row(tenant).counters[family] = c.Value
+		}
+	}
+	tenants := make([]string, 0, len(rows))
+	for t := range rows {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	return rows, tenants
+}
+
+func pctCell(h telemetry.HistogramSnap, ok bool) string {
+	if !ok || h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f/%.1f/%.1f", h.P50, h.P90, h.P99)
+}
+
+// render draws one dashboard frame. It is a pure function of the fetched
+// view, so tests drive it directly.
+func render(base string, v topView) string {
+	var w strings.Builder
+	state := ""
+	if v.Draining {
+		state = "  DRAINING"
+	}
+	fmt.Fprintf(&w, "glimpsed %s — sessions %d  running %d  queued %d  jobs %d%s\n\n",
+		base, v.Sessions, v.Running, v.Queued, v.Jobs, state)
+
+	if len(v.Tenants) > 0 {
+		t := metrics.NewTable("Tenants", "tenant", "jobs", "meas", "gpu-s", "budget", "used")
+		for _, ts := range v.Tenants {
+			used := "-"
+			if ts.BudgetGPUSeconds > 0 {
+				used = fmt.Sprintf("%.0f%%", 100*ts.GPUSeconds/ts.BudgetGPUSeconds)
+			}
+			budget := "-"
+			if ts.BudgetGPUSeconds > 0 {
+				budget = fmt.Sprintf("%.1f", ts.BudgetGPUSeconds)
+			}
+			t.AddRowf(ts.Tenant, ts.Jobs, ts.Measurements,
+				fmt.Sprintf("%.3f", ts.GPUSeconds), budget, used)
+		}
+		w.WriteString(t.String())
+	}
+
+	if len(v.SLOs) > 0 {
+		t := metrics.NewTable("SLOs", "objective", "target", "good", "total", "bad", "burn", "")
+		for _, s := range v.SLOs {
+			warn := ""
+			if s.Burn > 1 {
+				warn = "OVER BUDGET"
+			}
+			t.AddRowf(s.Name, fmt.Sprintf("%.4g", s.Objective), s.Good, s.Total,
+				fmt.Sprintf("%.4g", s.BadFraction), fmt.Sprintf("%.2f", s.Burn), warn)
+		}
+		w.WriteString(t.String())
+	}
+
+	rows, tenants := regroup(v.Metrics)
+	if len(tenants) == 0 {
+		return w.String()
+	}
+	lat := metrics.NewTable("Latency ms (p50/p90/p99)", "tenant", "queue wait", "ttfp", "step")
+	cnt := metrics.NewTable("Counters", "tenant", "done", "failed", "preempted", "cache hits", "rejected", "gpu-s")
+	for _, tenant := range tenants {
+		r := rows[tenant]
+		qw, qok := r.hists["glimpsed_queue_wait_ms"]
+		tf, tok := r.hists["glimpsed_ttfp_ms"]
+		st, sok := r.hists["glimpsed_step_ms"]
+		lat.AddRow(tenant, pctCell(qw, qok), pctCell(tf, tok), pctCell(st, sok))
+		cnt.AddRowf(tenant,
+			int(r.counters["glimpsed_jobs_done"]),
+			int(r.counters["glimpsed_jobs_failed"]),
+			int(r.counters["glimpsed_preemptions"]),
+			int(r.counters["glimpsed_cache_hits"]),
+			int(r.counters["glimpsed_admission_rejected"]),
+			fmt.Sprintf("%.3f", r.counters["glimpsed_gpu_seconds"]))
+	}
+	w.WriteString(lat.String())
+	w.WriteString(cnt.String())
+	return w.String()
+}

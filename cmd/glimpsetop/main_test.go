@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/server"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+	"github.com/neuralcompile/glimpse/internal/tuner"
+)
+
+// fakeView fabricates a /telemetryz frame with two tenants, an SLO over
+// its error budget, and labeled latency/outcome families.
+func fakeView() topView {
+	reg := telemetry.NewRegistry()
+	for _, tenant := range []string{"acme", "beta"} {
+		h := reg.Histogram(telemetry.Labeled("glimpsed_ttfp_ms", "tenant", tenant), telemetry.LatencyBoundsMS())
+		for i := 0; i < 10; i++ {
+			h.Observe(4)
+		}
+		reg.Counter(telemetry.Labeled("glimpsed_jobs_done", "tenant", tenant)).Add(3)
+		reg.FloatCounter(telemetry.Labeled("glimpsed_gpu_seconds", "tenant", tenant)).Add(1.5)
+	}
+	reg.Counter(telemetry.Labeled("glimpsed_jobs_failed", "tenant", "beta")).Add(2)
+	reg.Counter("unlabeled_total").Add(9) // must not create a tenant row
+	return topView{
+		Draining: true,
+		Sessions: 4, Running: 2, Queued: 5, Jobs: 12,
+		Tenants: []tuner.TenantSpend{
+			{Tenant: "acme", Jobs: 3, Measurements: 96, GPUSeconds: 1.5, BudgetGPUSeconds: 2},
+			{Tenant: "beta", Jobs: 3, Measurements: 80, GPUSeconds: 1.5},
+		},
+		SLOs: []server.SLOStatus{
+			{Name: "ttfp_latency", Objective: 0.99, Good: 90, Total: 100, BadFraction: 0.1, Burn: 10},
+			{Name: "availability", Objective: 0.95, Good: 100, Total: 100},
+		},
+		Metrics: reg.Snapshot(),
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	out := render("http://x:1", fakeView())
+	for _, s := range []string{
+		"glimpsed http://x:1 — sessions 4  running 2  queued 5  jobs 12  DRAINING",
+		"Tenants", "acme", "beta", "75%", // 1.5 of 2 budget
+		"SLOs", "ttfp_latency", "OVER BUDGET",
+		"Latency ms (p50/p90/p99)",
+		"Counters",
+	} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("render missing %q:\n%s", s, out)
+		}
+	}
+	// The unbudgeted tenant shows "-" for budget/used, and availability is
+	// inside budget so the warn cell stays empty.
+	if strings.Count(out, "OVER BUDGET") != 1 {
+		t.Fatalf("OVER BUDGET should flag exactly the burning SLO:\n%s", out)
+	}
+}
+
+func TestRegroupSkipsUnlabeled(t *testing.T) {
+	rows, tenants := regroup(fakeView().Metrics)
+	if len(tenants) != 2 || tenants[0] != "acme" || tenants[1] != "beta" {
+		t.Fatalf("tenants = %v", tenants)
+	}
+	acme := rows["acme"]
+	if acme.counters["glimpsed_jobs_done"] != 3 || acme.counters["glimpsed_gpu_seconds"] != 1.5 {
+		t.Fatalf("acme counters: %+v", acme.counters)
+	}
+	h, ok := acme.hists["glimpsed_ttfp_ms"]
+	if !ok || h.Count != 10 {
+		t.Fatalf("acme ttfp hist: %+v ok=%v", h, ok)
+	}
+	if pctCell(h, ok) == "-" {
+		t.Fatal("populated histogram rendered as empty cell")
+	}
+	if got := pctCell(telemetry.HistogramSnap{}, false); got != "-" {
+		t.Fatalf("missing histogram cell = %q", got)
+	}
+	if rows["beta"].counters["glimpsed_jobs_failed"] != 2 {
+		t.Fatalf("beta counters: %+v", rows["beta"].counters)
+	}
+}
+
+// TestRenderEmptyView: a fresh daemon with no tenants yet must still
+// render the header line without panicking on empty sections.
+func TestRenderEmptyView(t *testing.T) {
+	out := render("http://x:1", topView{Sessions: 2})
+	if !strings.Contains(out, "sessions 2") || strings.Contains(out, "Tenants") {
+		t.Fatalf("empty view render:\n%s", out)
+	}
+}

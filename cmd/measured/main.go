@@ -11,7 +11,13 @@
 //
 //	measured [-addr 127.0.0.1:4817] [-gpus titan-xp,rtx-3090,...] [-drain 10s]
 //	         [-chaos flap] [-chaos-seed 1] [-chaos-frac 0.1] [-chaos-service 500us]
-//	         [-debug-addr 127.0.0.1:6060]
+//	         [-debug-addr 127.0.0.1:6060] [-trace out.jsonl] [-trace-proc ep0]
+//
+// -trace records one rpc_measure span per measurement batch as JSONL. When
+// the caller propagates a trace context (glimpsed -trace), each span
+// carries the job's TraceID and tenant, and -trace-proc prefixes this
+// process's span IDs so traces from several daemons merge collision-free
+// (`tracereport -merge glimpsed.jsonl ep0.jsonl ep1.jsonl`).
 //
 // -chaos layers a deterministic churn schedule (see internal/faults) onto a
 // fraction of the hosted devices: flap, spike, slow-degrade, crash, or the
@@ -48,6 +54,8 @@ func main() {
 	chaosFrac := flag.Float64("chaos-frac", 0.1, "fraction of hosted devices the chaos schedule churns")
 	chaosService := flag.Duration("chaos-service", 0, "simulated service time per measurement (applies to every device when chaos is on)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and /telemetryz on this address (empty: disabled)")
+	tracePath := flag.String("trace", "", "write rpc_measure trace JSONL here (empty: tracing off)")
+	traceProc := flag.String("trace-proc", "measured", "process label prefixing span IDs in the trace")
 	flag.Parse()
 
 	var names []string
@@ -65,6 +73,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "measured:", err)
 		os.Exit(1)
+	}
+	var tracer *telemetry.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "measured:", err)
+			os.Exit(1)
+		}
+		tracer = telemetry.NewTracerProc(traceFile, nil, *traceProc)
+		srv.SetTracer(tracer)
 	}
 	bound, err := srv.Serve(*addr)
 	if err != nil {
@@ -109,5 +128,13 @@ func main() {
 	case <-sig:
 		fmt.Fprintln(os.Stderr, "measured: forced shutdown")
 		_ = srv.Close() // forced shutdown; close errors are cosmetic
+	}
+	if traceFile != nil {
+		if terr := tracer.Err(); terr != nil {
+			fmt.Fprintln(os.Stderr, "measured: trace:", terr)
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "measured: trace:", cerr)
+		}
 	}
 }

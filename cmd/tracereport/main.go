@@ -7,14 +7,27 @@
 //
 //	tracereport trace.jsonl
 //	tracereport < trace.jsonl
+//	tracereport -merge [-job j1] glimpsed.jsonl ep0.jsonl ep1.jsonl
+//
+// -merge assembles multiple per-process trace files (glimpsed plus every
+// measured endpoint) into one tree per TraceID using the propagated
+// SpanID/ParentID edges — never timestamps, since the processes' clocks
+// share no origin. For each trace it prints the span tree, a per-stage
+// rollup with bucket-interpolated p50/p90/p99 latencies, and the critical
+// path (queue wait → job → step → measure → rpc_measure) that bounded the
+// job's latency. -job keeps only that job's trace. Each file's process
+// label is its basename without extension.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/neuralcompile/glimpse/internal/metrics"
 	"github.com/neuralcompile/glimpse/internal/telemetry"
@@ -22,22 +35,175 @@ import (
 )
 
 func main() {
+	merge := flag.Bool("merge", false, "assemble multiple per-process trace files into cross-process trace trees")
+	job := flag.String("job", "", "with -merge: report only the trace for this job ID")
+	flag.Parse()
+
+	if *merge {
+		if err := runMerge(flag.Args(), *job, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 	var in io.Reader = os.Stdin
 	name := "stdin"
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fail(err)
 		}
 		defer f.Close()
 		in = f
-		name = os.Args[1]
+		name = flag.Arg(0)
 	}
 	table, err := report(in, name)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Print(table.String())
+}
+
+// runMerge reads each file as one process's trace log and reports every
+// assembled trace (or just the -job one).
+func runMerge(paths []string, job string, out io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs at least one trace file")
+	}
+	var procs []telemetry.ProcTrace
+	for _, path := range paths {
+		events, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(path)
+		procs = append(procs, telemetry.ProcTrace{
+			Proc:   strings.TrimSuffix(base, filepath.Ext(base)),
+			Events: events,
+		})
+	}
+	traces := telemetry.MergeTraces(procs)
+	if job != "" {
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.JobID == job {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no cross-process traces found (were the files written with -trace?)")
+	}
+	var b strings.Builder
+	for i, t := range traces {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printMerged(&b, t)
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+func readTrace(path string) ([]telemetry.SpanEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []telemetry.SpanEvent
+	rerr := tlog.ReadJSONLines(f, func(line []byte) error {
+		var ev telemetry.SpanEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		events = append(events, ev)
+		return nil
+	})
+	if rerr != nil {
+		return nil, fmt.Errorf("%s: %w", path, rerr)
+	}
+	return events, nil
+}
+
+func printMerged(out *strings.Builder, t *telemetry.MergedTrace) {
+	head := fmt.Sprintf("Trace %s", t.TraceID)
+	if t.JobID != "" {
+		head += fmt.Sprintf(" (job %s", t.JobID)
+		if t.Tenant != "" {
+			head += fmt.Sprintf(", tenant %s", t.Tenant)
+		}
+		head += ")"
+	}
+	fmt.Fprintf(out, "%s — procs: %s; %d spans, %d events\n",
+		head, strings.Join(t.Procs, ", "), t.Spans, t.Events)
+	for _, r := range t.Roots {
+		printSpanTree(out, r, 1)
+	}
+
+	// Per-stage rollup. Percentiles come from a latency histogram per
+	// stage — the same bucket-interpolated estimator (HistogramSnap.
+	// Quantile) the service uses on /metricsz, not a re-implementation.
+	reg := telemetry.NewRegistry()
+	var collect func(n *telemetry.MergedSpan)
+	collect = func(n *telemetry.MergedSpan) {
+		if n.Event.Kind == "span" {
+			reg.Histogram(n.Event.Stage, telemetry.LatencyBoundsMS()).
+				Observe(float64(n.Event.DurUS) / 1e3)
+		}
+		for _, c := range n.Children {
+			collect(c)
+		}
+	}
+	for _, r := range t.Roots {
+		collect(r)
+	}
+	snaps := map[string]telemetry.HistogramSnap{}
+	for _, h := range reg.Snapshot().Histograms {
+		snaps[h.Name] = h
+	}
+	table := metrics.NewTable("Stage rollup",
+		"stage", "spans", "events", "total ms", "self ms", "max ms", "p50", "p90", "p99")
+	for _, st := range t.StageRollup() {
+		h := snaps[st.Stage]
+		table.AddRowf(st.Stage, st.Spans, st.Events,
+			fmt.Sprintf("%.3f", float64(st.TotalUS)/1e3),
+			fmt.Sprintf("%.3f", float64(st.SelfUS)/1e3),
+			fmt.Sprintf("%.3f", float64(st.MaxUS)/1e3),
+			fmt.Sprintf("%.3f", h.P50),
+			fmt.Sprintf("%.3f", h.P90),
+			fmt.Sprintf("%.3f", h.P99))
+	}
+	out.WriteString(table.String())
+
+	if path := t.CriticalPath(); len(path) > 0 {
+		fmt.Fprintln(out, "Critical path:")
+		for _, n := range path {
+			fmt.Fprintf(out, "  %-16s [%s] %10.3f ms (self %.3f ms)\n",
+				n.Event.Stage, n.Proc, float64(n.Event.DurUS)/1e3, float64(n.SelfUS())/1e3)
+		}
+	}
+}
+
+func printSpanTree(out *strings.Builder, n *telemetry.MergedSpan, depth int) {
+	indent := strings.Repeat("  ", depth)
+	mark := ""
+	if n.Orphan {
+		mark = " (orphan)"
+	}
+	if n.Event.Kind == "span" {
+		fmt.Fprintf(out, "%s%-*s [%s] %10.3f ms%s\n",
+			indent, 28-2*depth, n.Event.Stage, n.Proc, float64(n.Event.DurUS)/1e3, mark)
+	} else {
+		detail := n.Event.Stage
+		if ev, ok := n.Event.Attrs["event"].(string); ok {
+			detail = ev
+		}
+		fmt.Fprintf(out, "%s· %s [%s]%s\n", indent, detail, n.Proc, mark)
+	}
+	for _, c := range n.Children {
+		printSpanTree(out, c, depth+1)
+	}
 }
 
 func fail(err error) {

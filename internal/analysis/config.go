@@ -66,6 +66,7 @@ var Scope = struct {
 		"internal/measure",
 		"internal/telemetry",
 		"internal/server",
+		"cmd/glimpsetop",
 	},
 	Ctx: []string{
 		"internal/fleet",
@@ -73,6 +74,8 @@ var Scope = struct {
 		"internal/rpc",
 		"internal/cache",
 		"internal/server",
+		"internal/telemetry",
+		"cmd/glimpsetop",
 	},
 	Lock: []string{
 		"internal/telemetry",
@@ -83,6 +86,7 @@ var Scope = struct {
 		"internal/tlog",
 		"internal/server",
 		"internal/tuner",
+		"cmd/glimpsetop",
 	},
 	Hot: []string{
 		"internal/gbt",

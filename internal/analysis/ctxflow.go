@@ -43,9 +43,11 @@ func runCtxFlow(p *Pass) {
 	if !inScope(p.Pkg.Path, Scope.Ctx) {
 		return
 	}
-	if p.Pkg.Types.Name() == "main" {
-		return // command roots may build their own contexts
-	}
+	// Command roots may build their own contexts (signal.NotifyContext
+	// wraps context.Background by design), but a scoped main package —
+	// cmd/glimpsetop's poll loop — still gets the blocking-op checks: its
+	// waits must sit under the root it built.
+	isMain := p.Pkg.Types.Name() == "main"
 	for _, file := range p.Pkg.Files {
 		exempt := selectCommNodes(file)
 		for _, decl := range file.Decls {
@@ -53,7 +55,8 @@ func runCtxFlow(p *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			v := &ctxVisitor{pass: p, exempt: exempt, fd: fd, hasCtx: []bool{funcTypeHasCtx(p, fd.Type)}}
+			v := &ctxVisitor{pass: p, exempt: exempt, fd: fd, allowRoots: isMain,
+				hasCtx: []bool{funcTypeHasCtx(p, fd.Type)}}
 			ast.Walk(v, fd.Body)
 		}
 	}
@@ -89,10 +92,11 @@ func selectCommNodes(file *ast.File) map[ast.Node]bool {
 // ctxVisitor walks one function declaration, tracking whether the current
 // closure chain has a context.Context parameter in scope.
 type ctxVisitor struct {
-	pass   *Pass
-	exempt map[ast.Node]bool
-	fd     *ast.FuncDecl
-	hasCtx []bool // one entry per enclosing func (decl + literals)
+	pass       *Pass
+	exempt     map[ast.Node]bool
+	fd         *ast.FuncDecl
+	allowRoots bool   // package main: fresh context roots are fine
+	hasCtx     []bool // one entry per enclosing func (decl + literals)
 }
 
 func (v *ctxVisitor) ctxInScope() bool {
@@ -110,7 +114,7 @@ func (v *ctxVisitor) Visit(n ast.Node) ast.Visitor {
 	}
 	switch n := n.(type) {
 	case *ast.FuncLit:
-		inner := &ctxVisitor{pass: v.pass, exempt: v.exempt, fd: v.fd,
+		inner := &ctxVisitor{pass: v.pass, exempt: v.exempt, fd: v.fd, allowRoots: v.allowRoots,
 			hasCtx: append(append([]bool(nil), v.hasCtx...), funcTypeHasCtx(v.pass, n.Type))}
 		ast.Walk(inner, n.Body)
 		return nil
@@ -145,7 +149,7 @@ func (v *ctxVisitor) checkCall(call *ast.CallExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "context":
-		if sig != nil && sig.Recv() == nil && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		if !v.allowRoots && sig != nil && sig.Recv() == nil && (fn.Name() == "Background" || fn.Name() == "TODO") {
 			v.pass.Reportf(call.Pos(), "context.%s() starts a fresh root; accept the caller's ctx instead (fresh roots are confined to package main, tests, and waived compat shims)", fn.Name())
 		}
 	case "time":

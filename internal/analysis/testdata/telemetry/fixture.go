@@ -36,6 +36,6 @@ func (notAClock) Read() time.Time {
 
 func bare() time.Duration {
 	start := time.Now()          // want determinism
-	time.Sleep(time.Millisecond) // want determinism
+	time.Sleep(time.Millisecond) // want determinism ctxflow
 	return time.Until(start)     // want determinism
 }

@@ -49,6 +49,10 @@ type Config struct {
 	// Tracing is observation only: it never touches the RNG streams, so
 	// results are byte-identical with and without it.
 	Tracer *telemetry.Tracer
+	// Trace parents the Run span into a caller's trace (core sets the
+	// current step's context). Zero roots the span; like Tracer, it is
+	// identity only and never steers the search.
+	Trace telemetry.SpanContext
 }
 
 // DefaultConfig mirrors AutoTVM's annealer scale, shrunk to simulator speed.
@@ -94,7 +98,7 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 	if topK <= 0 {
 		topK = 1
 	}
-	sp := cfg.Tracer.Start(telemetry.StageAnneal)
+	sp, _ := cfg.Tracer.StartSpan(cfg.Trace, telemetry.StageAnneal)
 	sp.SetAttr("chains", cfg.Chains)
 	sp.SetAttr("steps", cfg.Steps)
 	sp.SetAttr("topk", topK)
@@ -113,11 +117,15 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 	// trajectory stays a pure function of (salt, chain) — independent of
 	// worker count and scheduling.
 	chainBase := rng.New(g.Int63n(math.MaxInt64))
+	// Hoist the fields the chain closure reads: capturing cfg itself would
+	// capture it by reference (Config is past the compiler's 128-byte
+	// by-value limit) and heap-move it on every Run.
+	initialSeed, startTemp, steps := cfg.InitialSeed, cfg.StartTemp, cfg.Steps
 	perChain := parallel.Map(cfg.Workers, cfg.Chains, func(c int) map[int64]float64 {
 		cg := chainBase.Split(fmt.Sprintf("chain/%d", c))
 		var state int64
-		if c < len(cfg.InitialSeed) {
-			state = cfg.InitialSeed[c] % p.Size
+		if c < len(initialSeed) {
+			state = initialSeed[c] % p.Size
 			if state < 0 {
 				state += p.Size
 			}
@@ -133,8 +141,8 @@ func Run(p Problem, cfg Config, topK int, g *rng.RNG) ([]Result, error) {
 			}
 		}
 
-		temp := cfg.StartTemp
-		for step := 0; step < cfg.Steps; step++ {
+		temp := startTemp
+		for step := 0; step < steps; step++ {
 			cand := neighbor(state, cg)
 			if cand >= 0 && cand < p.Size {
 				s := p.Score(cand)

@@ -38,7 +38,10 @@ type TuneSession struct {
 	task workload.Task
 	sp   *space.Space
 	s    *tuner.Session
+	m    measure.Measurer // the session's measurer, for per-batch trace binding
 	g    *rng.RNG
+	sc   telemetry.SpanContext // parent context for step spans (gl.Trace at open)
+	step int                   // 1-based step counter, a span attribute only
 
 	batch  int
 	pool   int
@@ -108,7 +111,7 @@ func (gl *Glimpse) NewTuneSession(task workload.Task, sp *space.Space, m measure
 	}
 
 	ts := &TuneSession{
-		gl: gl, task: task, sp: sp, s: s, g: g,
+		gl: gl, task: task, sp: sp, s: s, m: m, g: g, sc: gl.Trace,
 		batch: batch, pool: pool, priorW: priorW,
 		hw: hw, dist: dist, scorer: scorer, ens: ens,
 		visited: map[int64]bool{},
@@ -144,8 +147,8 @@ func (gl *Glimpse) NewTuneSession(task workload.Task, sp *space.Space, m measure
 }
 
 // selector is the §3.3 ensemble-vote batch filter.
-func (ts *TuneSession) selector(cands []int64, n int) []int64 {
-	vote := ts.gl.Tracer.Start(telemetry.StageEnsembleVote)
+func (ts *TuneSession) selector(sc telemetry.SpanContext, cands []int64, n int) []int64 {
+	vote, _ := ts.gl.Tracer.StartSpan(sc, telemetry.StageEnsembleVote)
 	vote.SetAttr("cands", len(cands))
 	var kept []int64
 	if ts.gl.DisableSampler {
@@ -160,9 +163,13 @@ func (ts *TuneSession) selector(cands []int64, n int) []int64 {
 
 // record measures one batch and folds the results into the surrogate's
 // training set.
-func (ts *TuneSession) record(idxs []int64) error {
-	msp := ts.gl.Tracer.Start(telemetry.StageMeasure)
+func (ts *TuneSession) record(sc telemetry.SpanContext, idxs []int64) error {
+	msp, msc := ts.gl.Tracer.StartSpan(sc, telemetry.StageMeasure)
 	msp.SetAttr("batch", len(idxs))
+	// Bind this measure span's identity to the measurer chain: a Remote
+	// at the bottom stamps it onto the RPC wire, so measured's
+	// rpc_measure spans parent under this exact batch in merged traces.
+	measure.BindTrace(ts.m, msc)
 	results, err := ts.s.MeasureBatch(idxs)
 	if err != nil {
 		msp.SetAttr("error", err.Error())
@@ -193,8 +200,8 @@ func (ts *TuneSession) record(idxs []int64) error {
 
 // stepInitial runs the §3.1 initial batch: prior-distribution samples
 // (ensemble-filtered), led by any warm-start seeds.
-func (ts *TuneSession) stepInitial() error {
-	psp := ts.gl.Tracer.Start(telemetry.StagePriorSample)
+func (ts *TuneSession) stepInitial(sc telemetry.SpanContext) error {
+	psp, _ := ts.gl.Tracer.StartSpan(sc, telemetry.StagePriorSample)
 	psp.SetAttr("want", 3*ts.batch)
 	psp.SetAttr("warm_seeds", len(ts.seeds))
 	var first []int64
@@ -212,17 +219,17 @@ func (ts *TuneSession) stepInitial() error {
 	if len(seeds) > want {
 		seeds = seeds[:want]
 	}
-	first = append(append([]int64(nil), seeds...), ts.selector(first, want-len(seeds))...)
+	first = append(append([]int64(nil), seeds...), ts.selector(sc, first, want-len(seeds))...)
 	if len(first) == 0 {
 		ts.done = true
 		return nil
 	}
-	return ts.record(first)
+	return ts.record(sc, first)
 }
 
 // stepIterate runs one §3.2/§3.3 loop iteration: surrogate fit, annealed
 // exploration, acquisition scoring, ensemble-filtered measurement.
-func (ts *TuneSession) stepIterate() error {
+func (ts *TuneSession) stepIterate(sc telemetry.SpanContext) error {
 	gl := ts.gl
 	sp := ts.sp
 
@@ -240,7 +247,7 @@ func (ts *TuneSession) stepIterate() error {
 	gpy := make([]float64, 0, len(ts.warmY)+len(ny))
 	gpy = append(append(gpy, ts.warmY...), ny...)
 	gx, gy := capGPSet(gpx, gpy, 144)
-	tsp := gl.Tracer.Start(telemetry.StageSurrogateTrain)
+	tsp, _ := gl.Tracer.StartSpan(sc, telemetry.StageSurrogateTrain)
 	tsp.SetAttr("rows", len(gx))
 	sur, err := gp.FitWithGridSearch(gx, gy, 1e-3, func(v, sc float64) gp.Kernel {
 		return gp.Matern52{Variance: v, LengthScale: sc}
@@ -267,6 +274,7 @@ func (ts *TuneSession) stepIterate() error {
 	annealCfg := anneal.DefaultConfig()
 	annealCfg.Workers = gl.Workers
 	annealCfg.Tracer = gl.Tracer // anneal.Run emits its own "anneal" span
+	annealCfg.Trace = sc         // parented under this step
 	annealCfg.InitialSeed = topMeasured(ts.xs, ts.ys, ts.visitedOrder, 3)
 	top, err := anneal.Run(anneal.Problem{
 		Size:     sp.Size(),
@@ -291,7 +299,7 @@ func (ts *TuneSession) stepIterate() error {
 	// §3.2 scoring, two pooled passes: surrogate posterior per candidate
 	// (GP predict dominates), then the neural acquisition batch. Both
 	// are index-ordered maps, so output is worker-count invariant.
-	ssp := gl.Tracer.Start(telemetry.StageSurrogateScore)
+	ssp, _ := gl.Tracer.StartSpan(sc, telemetry.StageSurrogateScore)
 	ssp.SetAttr("cands", len(fresh))
 	stats := parallel.Map(gl.Workers, len(fresh), func(i int) acq.Stats {
 		mean, variance := sur.Predict(sp.FeaturesAt(fresh[i]))
@@ -304,7 +312,7 @@ func (ts *TuneSession) stepIterate() error {
 		}
 	})
 	ssp.End()
-	asp := gl.Tracer.Start(telemetry.StageAcquisition)
+	asp, _ := gl.Tracer.StartSpan(sc, telemetry.StageAcquisition)
 	asp.SetAttr("cands", len(stats))
 	var scores []float64
 	if gl.DisableAcq {
@@ -334,7 +342,7 @@ func (ts *TuneSession) stepIterate() error {
 	if explore > n/2 {
 		explore = n / 2
 	}
-	idxs := ts.selector(ordered, n-explore)
+	idxs := ts.selector(sc, ordered, n-explore)
 	// Hardware-Aware Exploration keeps a slice of each batch for fresh
 	// samples so the search cannot collapse onto one mode: prior-guided
 	// draws normally, widened with uniform draws while progress stalls.
@@ -349,13 +357,13 @@ func (ts *TuneSession) stepIterate() error {
 				unseen = append(unseen, idx)
 			}
 		}
-		idxs = append(idxs, ts.selector(unseen, explore)...)
+		idxs = append(idxs, ts.selector(sc, unseen, explore)...)
 	}
 	if len(idxs) == 0 {
 		ts.done = true
 		return nil
 	}
-	if err := ts.record(idxs); err != nil {
+	if err := ts.record(sc, idxs); err != nil {
 		return err
 	}
 	if cur := ts.s.Snapshot().BestGFLOPS; cur > ts.lastBest*1.005 {
@@ -374,18 +382,22 @@ func (ts *TuneSession) Step() (done bool, err error) {
 	if ts.done {
 		return true, nil
 	}
+	if ts.started && ts.s.Done() {
+		ts.done = true
+		return true, nil
+	}
+	ts.step++
+	span, sc := ts.gl.Tracer.StartSpan(ts.sc, telemetry.StageStep)
+	span.SetAttr("step", ts.step)
+	defer span.End()
 	if !ts.started {
 		ts.started = true
-		if err := ts.stepInitial(); err != nil {
+		if err := ts.stepInitial(sc); err != nil {
 			return false, err
 		}
 		return ts.done, nil
 	}
-	if ts.s.Done() {
-		ts.done = true
-		return true, nil
-	}
-	if err := ts.stepIterate(); err != nil {
+	if err := ts.stepIterate(sc); err != nil {
 		return false, err
 	}
 	return ts.done, nil

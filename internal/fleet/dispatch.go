@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/neuralcompile/glimpse/internal/gpusim"
+	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/space"
 	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
@@ -25,7 +26,17 @@ type dispatcher struct {
 	gpu    string
 	task   string
 	tracer *telemetry.Tracer
+	// trace parents dispatch spans (and, through them, the remote
+	// endpoints' rpc_measure spans) into the caller's trace. Set via
+	// BindTrace from the session goroutine that also calls MeasureBatch,
+	// so no locking is needed.
+	trace telemetry.SpanContext
 }
+
+// BindTrace implements measure.TraceBinder: the tuning session rebinds
+// the dispatcher before each measured batch so dispatch and RPC spans
+// parent under the current step.
+func (d *dispatcher) BindTrace(sc telemetry.SpanContext) { d.trace = sc }
 
 func (s *Scheduler) dispatcher(u unit, tracer *telemetry.Tracer) *dispatcher {
 	return &dispatcher{s: s, shard: u.shard, gpu: u.gpu, task: u.task.Name(), tracer: tracer}
@@ -96,6 +107,7 @@ func (d *dispatcher) measureFlat(task workload.Task, sp *space.Space, idxs []int
 	if err != nil {
 		return nil, err
 	}
+	measure.BindTrace(conn, d.trace)
 	start := time.Now()
 	res, err := conn.MeasureBatch(task, sp, idxs)
 	if err != nil {
@@ -167,8 +179,8 @@ func (d *dispatcher) speculateAfter(sl *slot, n int) time.Duration {
 // launch starts one attempt goroutine for ck on sl. The goroutine owns
 // the slot's busy token and releases it on exit; its result lands on the
 // buffered events channel (sized so abandoned attempts can never block).
-func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, task workload.Task, sp *space.Space,
-	idxs []int64, events chan<- attemptDone) {
+func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, sc telemetry.SpanContext,
+	task workload.Task, sp *space.Space, idxs []int64, events chan<- attemptDone) {
 	//glint:ignore ctxflow -- attempt-scoped root: the ctx-less Measurer API ends here and every attempt is cancelled via ck.cancels on abort/finish
 	actx, cancel := context.WithCancel(context.Background())
 	ck.inFlight++
@@ -187,6 +199,10 @@ func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, task workload.Task, 
 		conn, err := sl.conn(d.gpu, d.s.sc.Reliable)
 		var res []gpusim.Result
 		if err == nil {
+			// The busy token makes this attempt the conn's sole user, so
+			// binding the dispatch span context here cannot race another
+			// attempt's bind or call.
+			measure.BindTrace(conn, sc)
 			res, err = conn.MeasureBatchContext(actx, task, sp, idxs[ck.lo:ck.hi])
 		}
 		//glint:ignore ctxflow -- events is buffered past max in-flight (see measureSharded), so this send never blocks
@@ -197,7 +213,7 @@ func (d *dispatcher) launch(ck *chunk, sl *slot, twin bool, task workload.Task, 
 // measureSharded runs the chunked event loop. Chunks are cut lazily at
 // lease time so each endpoint gets a slice sized to its observed speed.
 func (d *dispatcher) measureSharded(task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
-	dsp := d.tracer.Start(telemetry.StageDispatch)
+	dsp, dsc := d.tracer.StartSpan(d.trace, telemetry.StageDispatch)
 	dsp.SetAttr("gpu", d.gpu)
 	dsp.SetAttr("task", d.task)
 	dsp.SetAttr("batch", len(idxs))
@@ -260,11 +276,11 @@ func (d *dispatcher) measureSharded(task workload.Task, sp *space.Space, idxs []
 			retry = retry[1:]
 			if stolen {
 				nSteals++
-				d.tracer.Event(telemetry.StageSteal, map[string]any{
+				d.tracer.EventCtx(dsc, telemetry.StageSteal, map[string]any{
 					"event": "endpoint_steal", "shard": d.shard, "endpoint": sl.ep.Name, "gpu": d.gpu,
 				})
 			}
-			d.launch(ck, sl, false, task, sp, idxs, events)
+			d.launch(ck, sl, false, dsc, task, sp, idxs, events)
 			return true
 		}
 		// Fresh work: cut a chunk sized to the leased endpoint.
@@ -280,11 +296,11 @@ func (d *dispatcher) measureSharded(task workload.Task, sp *space.Space, idxs []
 			nChunks++
 			if stolen {
 				nSteals++
-				d.tracer.Event(telemetry.StageSteal, map[string]any{
+				d.tracer.EventCtx(dsc, telemetry.StageSteal, map[string]any{
 					"event": "endpoint_steal", "shard": d.shard, "endpoint": sl.ep.Name, "gpu": d.gpu,
 				})
 			}
-			d.launch(ck, sl, false, task, sp, idxs, events)
+			d.launch(ck, sl, false, dsc, task, sp, idxs, events)
 			return true
 		}
 		// Speculation: twin the oldest straggler onto a different endpoint.
@@ -315,12 +331,12 @@ func (d *dispatcher) measureSharded(task workload.Task, sp *space.Space, idxs []
 		if stolen {
 			nSteals++
 		}
-		d.tracer.Event(telemetry.StageSpeculate, map[string]any{
+		d.tracer.EventCtx(dsc, telemetry.StageSpeculate, map[string]any{
 			"event": "speculate", "gpu": d.gpu, "task": d.task,
 			"endpoint": sl.ep.Name, "straggler": cand.holders[0].ep.Name,
 			"chunk": fmt.Sprintf("%d:%d", cand.lo, cand.hi),
 		})
-		d.launch(cand, sl, true, task, sp, idxs, events)
+		d.launch(cand, sl, true, dsc, task, sp, idxs, events)
 		return true
 	}
 
@@ -378,7 +394,7 @@ func (d *dispatcher) measureSharded(task workload.Task, sp *space.Space, idxs []
 			copy(out[ev.ck.lo:ev.ck.hi], ev.res)
 			if ev.twin {
 				nWins++
-				d.tracer.Event(telemetry.StageSpeculate, map[string]any{
+				d.tracer.EventCtx(dsc, telemetry.StageSpeculate, map[string]any{
 					"event": "speculative_win", "gpu": d.gpu, "endpoint": ev.sl.ep.Name,
 				})
 			}

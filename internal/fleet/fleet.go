@@ -119,6 +119,11 @@ type Config struct {
 	// for the concurrent task goroutines; it observes only and never
 	// steers scheduling or seeding.
 	Tracer *telemetry.Tracer
+	// Trace parents every task span into a caller's trace (glimpsed
+	// stamps the job context here), flowing from there through dispatch
+	// spans onto the RPC wire. Zero roots the task spans locally; like
+	// Tracer, it carries identity only and never steers scheduling.
+	Trace telemetry.SpanContext
 }
 
 func (c *Config) resolve() error {
@@ -149,14 +154,14 @@ func (c *Config) resolve() error {
 // from g by task name, so results do not depend on which goroutine, shard,
 // or endpoint runs the task.
 func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (TaskPlan, error) {
-	tsp := cfg.Tracer.Start(telemetry.StageTask)
+	tsp, taskSC := cfg.Tracer.StartSpan(cfg.Trace, telemetry.StageTask)
 	tsp.SetAttr("task", task.Name())
 	tsp.SetAttr("gpu", m.DeviceName())
 	defer tsp.End()
 
 	failed := func(err error) TaskPlan {
 		tsp.SetAttr("outcome", "failed")
-		cfg.Tracer.Event(telemetry.StageTask, map[string]any{
+		cfg.Tracer.EventCtx(taskSC, telemetry.StageTask, map[string]any{
 			"event": "task_failed", "task": task.Name(), "gpu": m.DeviceName(), "error": err.Error(),
 		})
 		return TaskPlan{
@@ -189,7 +194,7 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 	var warm *cache.WarmStart
 	if cfg.Cache != nil {
 		fp = cache.Fingerprint(task, sp)
-		lsp := cfg.Tracer.Start(telemetry.StageCacheLookup)
+		lsp, _ := cfg.Tracer.StartSpan(taskSC, telemetry.StageCacheLookup)
 		lsp.SetAttr("task", task.Name())
 		ce, hit := cfg.Cache.Get(fp, m.DeviceName())
 		if !hit {
@@ -199,7 +204,7 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 		lsp.SetAttr("hit", hit)
 		lsp.End()
 		if hit && ce.BestConfig < sp.Size() {
-			hsp := cfg.Tracer.Start(telemetry.StageCacheHit)
+			hsp, _ := cfg.Tracer.StartSpan(taskSC, telemetry.StageCacheHit)
 			hsp.SetAttr("task", task.Name())
 			hsp.SetAttr("gflops", ce.GFLOPS)
 			tp := TaskPlan{
@@ -231,6 +236,16 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 	if err != nil {
 		return failed(err), nil
 	}
+	// Parent the tuner's step/measure spans under this task span, and
+	// bind the measurer chain so remote endpoints record their side under
+	// the same trace. Both are identity-only: tuners and measurers that
+	// support neither still run identically.
+	if tb, ok := tn.(interface {
+		SetTraceContext(telemetry.SpanContext)
+	}); ok {
+		tb.SetTraceContext(taskSC)
+	}
+	measure.BindTrace(m, taskSC)
 	if warm != nil {
 		if w, ok := tn.(cache.WarmStartable); ok {
 			w.SetWarmStart(warm)
@@ -268,7 +283,7 @@ func runTask(cfg *Config, m measure.Measurer, task workload.Task, g *rng.RNG) (T
 		tp.Kernel = kern.Render()
 	}
 	if cfg.Checkpoint != nil {
-		csp := cfg.Tracer.Start(telemetry.StageCheckpoint)
+		csp, _ := cfg.Tracer.StartSpan(taskSC, telemetry.StageCheckpoint)
 		csp.SetAttr("task", task.Name())
 		err := cfg.Checkpoint.Append(cfg.Model, m.DeviceName(), tp)
 		csp.End()

@@ -317,7 +317,7 @@ func (s *Scheduler) Run(cfg Config, targets []string, g *rng.RNG) ([]*Plan, erro
 		if runners > total {
 			runners = total
 		}
-		ssp := cfg.Tracer.Start(telemetry.StageShard)
+		ssp, _ := cfg.Tracer.StartSpan(cfg.Trace, telemetry.StageShard)
 		ssp.SetAttr("shard", j)
 		ssp.SetAttr("targets", fmt.Sprintf("%v", shards[j]))
 		var swg sync.WaitGroup

@@ -13,6 +13,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -30,6 +31,31 @@ type Measurer interface {
 type ContextMeasurer interface {
 	Measurer
 	MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error)
+}
+
+// TraceBinder is implemented by measurers that can attach a
+// telemetry.SpanContext to the measurements that follow: Remote stamps
+// it onto the RPC wire so measured records child spans under the
+// caller's trace, and wrappers (Reliable, tlog recorders) forward it
+// down their chain. Binding carries identity only — it never changes
+// what is measured, so traced and untraced runs stay byte-identical.
+//
+// A bind applies to subsequent batches until rebound. Callers rebind
+// from the goroutine that issues the measurements (or before handing the
+// measurer over), exactly like the Measurer calls themselves.
+type TraceBinder interface {
+	BindTrace(sc telemetry.SpanContext)
+}
+
+// BindTrace binds sc to m when the measurer (or its chain) supports
+// trace propagation, reporting whether anything was bound. Local
+// in-process measurers do not: their spans are already the caller's.
+func BindTrace(m Measurer, sc telemetry.SpanContext) bool {
+	b, ok := m.(TraceBinder)
+	if ok {
+		b.BindTrace(sc)
+	}
+	return ok
 }
 
 // Local measures on an in-process simulated device.

@@ -11,6 +11,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -176,6 +177,17 @@ func NewReliable(cfg ReliableConfig, chain ...Measurer) (*Reliable, error) {
 
 // DeviceName reports the primary backend's device.
 func (r *Reliable) DeviceName() string { return r.backends[0].m.DeviceName() }
+
+// BindTrace forwards the span context to every backend in the failover
+// chain that supports trace propagation (TraceBinder), so a batch that
+// fails over mid-trace still lands on the wire with the same identity.
+func (r *Reliable) BindTrace(sc telemetry.SpanContext) {
+	for _, b := range r.backends {
+		if tb, ok := b.m.(TraceBinder); ok {
+			tb.BindTrace(sc)
+		}
+	}
+}
 
 // Stats returns a snapshot of the fault-handling counters.
 func (r *Reliable) Stats() ReliableStats {

@@ -12,6 +12,7 @@ import (
 
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -25,11 +26,17 @@ var ErrDraining = errors.New("measure: server draining")
 
 // MeasureArgs is the RPC request: a task identified by (model, 1-based
 // index) plus the configuration indices to run on the named device.
+// Trace carries the caller's span context across the wire so the server
+// can record its side of the batch under the same trace; a zero Trace is
+// omitted from the gob stream entirely, keeping the wire byte-compatible
+// with pre-trace peers (gob also ignores the field when a new client
+// talks to an old server).
 type MeasureArgs struct {
 	Device    string
 	Model     string
 	TaskIndex int
 	Indices   []int64
+	Trace     telemetry.SpanContext
 }
 
 // MeasureReply carries the measurement results back.
@@ -57,6 +64,7 @@ type PingReply struct {
 type Server struct {
 	mu       sync.Mutex
 	backends map[string]Measurer
+	tracer   *telemetry.Tracer
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	inflight int
@@ -108,6 +116,17 @@ func NewServerWrapped(gpuNames []string, wrap func(i int, gpu string, m Measurer
 	return s, nil
 }
 
+// SetTracer installs the tracer that records this server's side of each
+// measurement batch (an "rpc_measure" span, parented into the caller's
+// trace when the request carries one). Install before Serve; the field
+// is read under the server mutex, so a late install is safe but may miss
+// batches already in flight.
+func (s *Server) SetTracer(tr *telemetry.Tracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
+}
+
 // Measure is the RPC method: it resolves the task, rebuilds its space, and
 // measures every requested index.
 func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
@@ -120,6 +139,7 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 	s.batches++
 	s.configs += int64(len(args.Indices))
 	m, ok := s.backends[args.Device]
+	tracer := s.tracer
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -129,6 +149,12 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 	if !ok {
 		return fmt.Errorf("measure: server does not host device %q", args.Device)
 	}
+	span, _ := tracer.StartSpan(args.Trace, telemetry.StageRPCMeasure)
+	span.SetAttr("device", args.Device)
+	span.SetAttr("model", args.Model)
+	span.SetAttr("task", args.TaskIndex)
+	span.SetAttr("batch", len(args.Indices))
+	defer span.End()
 	task, err := workload.TaskByIndex(args.Model, args.TaskIndex)
 	if err != nil {
 		return err
@@ -143,6 +169,9 @@ func (s *Server) Measure(args MeasureArgs, reply *MeasureReply) error {
 		}
 	}
 	reply.Results, err = m.MeasureBatch(task, sp, args.Indices)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
 	return err
 }
 
@@ -272,6 +301,22 @@ func (s *Server) Close() error {
 type Remote struct {
 	client *rpc.Client
 	device string
+
+	traceMu sync.Mutex
+	trace   telemetry.SpanContext // stamped onto MeasureArgs until rebound
+}
+
+// BindTrace attaches sc to subsequent measurement RPCs (TraceBinder).
+func (r *Remote) BindTrace(sc telemetry.SpanContext) {
+	r.traceMu.Lock()
+	r.trace = sc
+	r.traceMu.Unlock()
+}
+
+func (r *Remote) boundTrace() telemetry.SpanContext {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	return r.trace
 }
 
 // Dial connects to a measurement server and binds to one of its devices,
@@ -341,7 +386,7 @@ func (r *Remote) MeasureBatch(task workload.Task, sp *space.Space, idxs []int64)
 // board from hanging a tuning session forever. The asynchronous call is
 // issued with rpc.Client.Go so cancellation does not wait on the wire.
 func (r *Remote) MeasureBatchContext(ctx context.Context, task workload.Task, sp *space.Space, idxs []int64) ([]gpusim.Result, error) {
-	args := MeasureArgs{Device: r.device, Model: task.Model, TaskIndex: task.Index, Indices: idxs}
+	args := MeasureArgs{Device: r.device, Model: task.Model, TaskIndex: task.Index, Indices: idxs, Trace: r.boundTrace()}
 	var reply MeasureReply
 	call := r.client.Go("Measure.Measure", args, &reply, make(chan *rpc.Call, 1))
 	select {

@@ -1,0 +1,111 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"testing"
+
+	"github.com/neuralcompile/glimpse/internal/telemetry"
+)
+
+// legacyMeasureArgs is the pre-tracing wire shape of MeasureArgs, kept
+// here verbatim to pin both directions of gob compatibility across mixed
+// client/server versions.
+type legacyMeasureArgs struct {
+	Device    string
+	Model     string
+	TaskIndex int
+	Indices   []int64
+}
+
+// TestMeasureArgsWireCompat pins the RPC compatibility contract the
+// tracing field rides on: gob matches struct fields by name, so
+//
+//  1. an old client's bytes decode on a new server (the absent Trace
+//     field is left zero — no trace, which is correct);
+//  2. a new client decodes on an old server whether tracing is off (the
+//     zero Trace encodes as an empty struct) or on (the unknown field is
+//     skipped; only the trace identity is lost);
+//  3. on one binary, the traced and untraced encodings differ only in
+//     the Trace field — the measurement payload bytes are unchanged, so
+//     tracing cannot alter what the endpoint measures.
+func TestMeasureArgsWireCompat(t *testing.T) {
+	encode := func(v any) []byte {
+		var b bytes.Buffer
+		// One encoder per message, like net/rpc per-call encoding streams
+		// start fresh type dictionaries.
+		if err := gob.NewEncoder(&b).Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	legacy := legacyMeasureArgs{Device: "titan-xp", Model: "resnet-18", TaskIndex: 7, Indices: []int64{3, 9}}
+	oldBytes := encode(legacy)
+
+	// Old -> new: Trace arrives zero.
+	var got MeasureArgs
+	if err := gob.NewDecoder(bytes.NewReader(oldBytes)).Decode(&got); err != nil {
+		t.Fatalf("new server rejected old client bytes: %v", err)
+	}
+	if got.Device != "titan-xp" || got.TaskIndex != 7 || len(got.Indices) != 2 {
+		t.Fatalf("payload mangled: %+v", got)
+	}
+	if got.Trace != (telemetry.SpanContext{}) {
+		t.Fatalf("legacy decode produced a trace context: %+v", got.Trace)
+	}
+
+	// New (untraced) -> old: the zero Trace field decodes as nothing.
+	untraced := MeasureArgs{Device: "titan-xp", Model: "resnet-18", TaskIndex: 7, Indices: []int64{3, 9}}
+	var legacyFromUntraced legacyMeasureArgs
+	if err := gob.NewDecoder(bytes.NewReader(encode(untraced))).Decode(&legacyFromUntraced); err != nil {
+		t.Fatalf("old server rejected untraced new client bytes: %v", err)
+	}
+	if legacyFromUntraced.Device != "titan-xp" || len(legacyFromUntraced.Indices) != 2 {
+		t.Fatalf("untraced payload mangled: %+v", legacyFromUntraced)
+	}
+
+	// Same binary, traced vs untraced: round-tripping both must yield
+	// identical measurement payloads — the Trace field is pure identity.
+	traced := untraced
+	traced.Trace = telemetry.SpanContext{TraceID: "job-j1", SpanID: "glimpsed/4", JobID: "j1", Tenant: "acme"}
+	var back MeasureArgs
+	if err := gob.NewDecoder(bytes.NewReader(encode(traced))).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	back.Trace = telemetry.SpanContext{}
+	payload := func(a MeasureArgs) string {
+		a.Trace = telemetry.SpanContext{}
+		b, _ := json.Marshal(a)
+		return string(b)
+	}
+	if payload(back) != payload(untraced) {
+		t.Fatalf("tracing changed the measurement payload:\n%s\nvs\n%s", payload(back), payload(untraced))
+	}
+	var legacyGot legacyMeasureArgs
+	if err := gob.NewDecoder(bytes.NewReader(encode(traced))).Decode(&legacyGot); err != nil {
+		t.Fatalf("old server rejected traced client bytes: %v", err)
+	}
+	if legacyGot.Device != "titan-xp" || legacyGot.Model != "resnet-18" ||
+		legacyGot.TaskIndex != 7 || len(legacyGot.Indices) != 2 {
+		t.Fatalf("old server mangled traced payload: %+v", legacyGot)
+	}
+}
+
+// TestSpanContextJSONShape pins the JSONL field names other processes
+// parse back out of trace files (tracereport -merge and DESIGN.md §14).
+func TestSpanContextJSONShape(t *testing.T) {
+	sc := telemetry.SpanContext{TraceID: "job-j1", SpanID: "glimpsed/4", JobID: "j1", Tenant: "acme"}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"trace":"job-j1","span":"glimpsed/4","job":"j1","tenant":"acme"}`
+	if string(data) != want {
+		t.Fatalf("SpanContext JSON drifted:\n got %s\nwant %s", data, want)
+	}
+	if data, _ = json.Marshal(telemetry.SpanContext{}); string(data) != "{}" {
+		t.Fatalf("zero SpanContext must marshal empty, got %s", data)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +14,7 @@ import (
 
 	"github.com/neuralcompile/glimpse/internal/hwspec"
 	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -231,23 +231,18 @@ func benchServeOnce(b *testing.B, provider ToolkitProvider) {
 			drift, ledgerSeconds, resultSeconds)
 	}
 
-	var ttfps []time.Duration
+	// Feed TTFP samples through the same histogram + estimator the service
+	// metrics use, so the bench reports the numbers /telemetryz would show.
+	ttfpHist := telemetry.NewHistogram(telemetry.LatencyBoundsMS())
 	for _, j := range jobs {
 		if j.ttfp > 0 {
-			ttfps = append(ttfps, j.ttfp)
+			ttfpHist.Observe(float64(j.ttfp.Microseconds()) / 1000)
 		}
 	}
-	sort.Slice(ttfps, func(i, k int) bool { return ttfps[i] < ttfps[k] })
-	pct := func(p float64) float64 {
-		if len(ttfps) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(ttfps)-1))
-		return float64(ttfps[idx].Microseconds()) / 1000
-	}
+	ttfpSnap := ttfpHist.Snapshot("ttfp_ms")
 	b.ReportMetric(float64(len(specs))/elapsed.Seconds(), "jobs/s")
-	b.ReportMetric(pct(0.50), "ttfp_p50_ms")
-	b.ReportMetric(pct(0.99), "ttfp_p99_ms")
+	b.ReportMetric(ttfpSnap.Quantile(0.50), "ttfp_p50_ms")
+	b.ReportMetric(ttfpSnap.Quantile(0.99), "ttfp_p99_ms")
 	b.ReportMetric(float64(lost), "lost_jobs")
 	b.ReportMetric(float64(resumed), "resumed_jobs")
 	b.ReportMetric(drift, "ledger_drift_s")

@@ -11,8 +11,10 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/neuralcompile/glimpse/internal/hwspec"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
@@ -110,6 +112,14 @@ type Job struct {
 	Result *tuner.Result `json:"result,omitempty"`
 
 	seq int // arrival order; FIFO tie-break within (tenant, priority)
+
+	// Observability bookkeeping, guarded by the server mutex. These feed
+	// metrics and traces only — never scheduling — and are process-local
+	// (not journaled): a restarted server restarts the clocks.
+	created   time.Time      // first enqueue this process; TTFP base
+	queuedAt  time.Time      // current queue-wait start (zero: not queued)
+	queueSpan telemetry.Span // open queue_wait span, ended at dequeue
+	ttfpSeen  bool           // time-to-first-progress already observed
 }
 
 // ProgressEvent is one record on a job's SSE stream. The field order is
@@ -127,6 +137,13 @@ type ProgressEvent struct {
 	BestGFLOPS   float64 `json:"best_gflops,omitempty"`
 	GPUSeconds   float64 `json:"gpu_seconds,omitempty"`
 	Detail       string  `json:"detail,omitempty"`
+	// SLOBurn is the service's worst error-budget burn rate at publish
+	// time, stamped on terminal state events only when Config.SLOs is
+	// set. With SLOs unconfigured the field is never populated, so the
+	// deterministic byte-for-byte stream contract above is unchanged;
+	// with SLOs on, burn reflects cross-job service state and is excluded
+	// from that contract (DESIGN.md §14).
+	SLOBurn float64 `json:"slo_burn,omitempty"`
 }
 
 func jobID(seq int) string { return fmt.Sprintf("j%d", seq) }

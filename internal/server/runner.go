@@ -15,6 +15,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/rng"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tlog"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 	"github.com/neuralcompile/glimpse/internal/workload"
@@ -86,6 +87,7 @@ func (tp *trainingToolkits) Toolkit(gpu string, seed int64) (*core.Toolkit, erro
 func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 	j := rj.job
 	spec := j.Spec
+	s.endQueueWait(j)
 
 	select {
 	case <-ctx.Done():
@@ -110,6 +112,17 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 	}
 	s.setState(j, StateRunning, "")
 
+	// One "job" span per run attempt, rooted in the job's trace; a
+	// preempted job's next attempt opens a sibling span in the same
+	// trace. Everything the session does — steps, measure batches, and
+	// the endpoints' rpc_measure spans across the wire — parents under
+	// jsc.
+	jsp, jsc := s.tracer.StartSpan(s.jobTrace(j), telemetry.StageJob)
+	jsp.SetAttr("gpu", spec.GPU)
+	jsp.SetAttr("model", spec.Model)
+	jsp.SetAttr("task", spec.TaskIndex)
+	defer jsp.End()
+
 	budget := spec.budget()
 
 	// Tuned-config store: exact hits skip the session entirely, misses
@@ -129,6 +142,9 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 			s.mu.Lock()
 			j.Cached = true
 			s.mu.Unlock()
+			s.tenantCounter(mCacheHits, spec.Tenant).Inc()
+			s.observeFirstProgress(j)
+			jsp.SetAttr("outcome", "cached")
 			s.finishJob(j, StateDone, "served from tuned-config cache", res)
 			return
 		}
@@ -172,6 +188,10 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 	if warm != nil {
 		gl.SetWarmStart(warm)
 	}
+	if s.tracer != nil {
+		gl.Tracer = s.tracer
+	}
+	gl.SetTraceContext(jsc)
 	ts, err := gl.NewTuneSession(task, sp, m.measurer, budget,
 		rng.New(spec.Seed).Split("tune/"+task.Name()))
 	if err != nil {
@@ -184,7 +204,10 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 	// lifetime charges still sum to exactly the session's spend.
 	chargedGPU, chargedMeas := 0.0, 0
 	for {
+		stepStart := s.clock.Now()
 		done, err := ts.Step()
+		s.tenantHist(mStepMS, spec.Tenant).
+			Observe(float64(s.clock.Now().Sub(stepStart).Microseconds()) / 1000)
 		if err != nil {
 			if errors.Is(err, tlog.ErrReplayDiverged) || errors.Is(err, tlog.ErrReplayShort) {
 				// Stale or torn checkpoint (changed binary, killed
@@ -199,7 +222,7 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 		}
 		snap := ts.Snapshot()
 		if gpu, meas := snap.GPUSeconds-prior.gpuSeconds, snap.Measurements-prior.measurements; gpu > chargedGPU || meas > chargedMeas {
-			s.ledger.Charge(spec.Tenant, maxF(0, gpu-chargedGPU), maxI(0, meas-chargedMeas))
+			s.charge(spec.Tenant, maxF(0, gpu-chargedGPU), maxI(0, meas-chargedMeas))
 			chargedGPU, chargedMeas = maxF(gpu, chargedGPU), maxI(meas, chargedMeas)
 		}
 		s.hub.publish(j.ID, ProgressEvent{
@@ -209,6 +232,7 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 			BestGFLOPS:   snap.BestGFLOPS,
 			GPUSeconds:   snap.GPUSeconds,
 		})
+		s.observeFirstProgress(j)
 		if done {
 			break
 		}
@@ -231,7 +255,7 @@ func (s *Server) runJob(ctx context.Context, rj *runningJob) {
 	res := ts.Result()
 	// Final reconciliation: top the tenant's charges up to the session's
 	// exact totals (Finish can record a terminal partial batch).
-	s.ledger.Charge(spec.Tenant,
+	s.charge(spec.Tenant,
 		maxF(0, res.GPUSeconds-prior.gpuSeconds-chargedGPU),
 		maxI(0, res.Measurements-prior.measurements-chargedMeas))
 	s.ledger.AddJob(spec.Tenant)

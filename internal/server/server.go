@@ -14,6 +14,7 @@ import (
 
 	"github.com/neuralcompile/glimpse/internal/cache"
 	"github.com/neuralcompile/glimpse/internal/measure"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/tlog"
 	"github.com/neuralcompile/glimpse/internal/tuner"
 )
@@ -54,6 +55,22 @@ type Config struct {
 	// Log receives operational messages (default os.Stderr; io.Discard
 	// silences).
 	Log io.Writer
+	// Tracer records the service's side of each job's distributed trace:
+	// queue_wait and job spans keyed by "job-<id>", with the session's
+	// step/measure spans (and, over RPC, the endpoints' rpc_measure
+	// spans) below them. Nil disables tracing; traced and untraced runs
+	// produce byte-identical results.
+	Tracer *telemetry.Tracer
+	// Metrics receives the per-tenant service metric families served on
+	// /metricsz and /telemetryz (default: a private registry).
+	Metrics *telemetry.Registry
+	// Clock times queue waits, step latencies, and time-to-first-progress
+	// (default SystemClock; tests inject a *telemetry.FakeClock). It
+	// feeds observability only, never the tuning loop.
+	Clock telemetry.Clock
+	// SLOs configures service-level objectives. The zero value disables
+	// SLO tracking, keeping the SSE wire format exactly as documented.
+	SLOs SLOConfig
 }
 
 // runningJob tracks one in-flight session and its control channels.
@@ -74,6 +91,14 @@ type Server struct {
 	hub    *hub
 	ledger *tuner.Ledger
 	cache  *cache.Store
+
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Registry
+	clock   telemetry.Clock
+	slo     *sloTracker
+	// chargeMu serializes ledger charges with their mirrored gpu_seconds
+	// counter updates so the two totals reconcile exactly (see charge).
+	chargeMu sync.Mutex
 
 	hs       *http.Server
 	ln       net.Listener
@@ -118,6 +143,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = os.Stderr
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = telemetry.SystemClock()
+	}
 
 	st, recovered, err := openStore(cfg.StateDir)
 	if err != nil {
@@ -133,6 +164,10 @@ func New(cfg Config) (*Server, error) {
 		queue:   newQueue(ledger),
 		hub:     newHub(),
 		ledger:  ledger,
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
+		clock:   cfg.Clock,
+		slo:     newSLOTracker(cfg.SLOs),
 		jobs:    map[string]*Job{},
 		running: map[string]*runningJob{},
 	}
@@ -162,14 +197,14 @@ func (s *Server) recoverJobs(recovered []*Job) {
 		s.order = append(s.order, j)
 		switch {
 		case j.State == StateDone && j.Result != nil:
-			s.ledger.Charge(j.Spec.Tenant, j.Result.GPUSeconds, j.Result.Measurements)
+			s.charge(j.Spec.Tenant, j.Result.GPUSeconds, j.Result.Measurements)
 			s.ledger.AddJob(j.Spec.Tenant)
 		default:
 			// Failed, canceled, and interrupted jobs spent whatever their
 			// measurement logs recorded.
 			if data, err := os.ReadFile(s.store.measPath(j.ID)); err == nil {
 				if entries, err := tlog.Read(bytes.NewReader(data)); err == nil {
-					s.ledger.Charge(j.Spec.Tenant, tlog.GPUSeconds(entries), len(entries))
+					s.charge(j.Spec.Tenant, tlog.GPUSeconds(entries), len(entries))
 				}
 			}
 		}
@@ -187,6 +222,7 @@ func (s *Server) recoverJobs(recovered []*Job) {
 			continue
 		}
 		s.hub.publish(j.ID, ProgressEvent{Kind: "state", State: string(StateQueued), Detail: j.Detail})
+		s.beginQueueWait(j)
 		s.queue.push(j)
 	}
 }
@@ -390,6 +426,7 @@ func (s *Server) setState(j *Job, state JobState, detail string) {
 // stopped.
 func (s *Server) requeue(j *Job, detail string) {
 	s.setState(j, StateQueued, detail)
+	s.beginQueueWait(j)
 	s.queue.push(j)
 }
 
@@ -407,7 +444,21 @@ func (s *Server) finishJob(j *Job, state JobState, detail string, res *tuner.Res
 	if err := s.store.appendState(&snap); err != nil {
 		s.logf("glimpsed: job %s: journal: %v\n", j.ID, err)
 	}
-	s.hub.publish(j.ID, ProgressEvent{Kind: "state", State: string(state), Detail: detail})
+	// Outcome metrics and SLO accounting precede the publish so the burn
+	// stamped on the terminal event reflects this job's own outcome.
+	switch state {
+	case StateDone:
+		s.tenantCounter(mJobsDone, j.Spec.Tenant).Inc()
+		s.slo.observeOutcome(true)
+	case StateFailed:
+		s.tenantCounter(mJobsFailed, j.Spec.Tenant).Inc()
+		s.slo.observeOutcome(false)
+	}
+	ev := ProgressEvent{Kind: "state", State: string(state), Detail: detail}
+	if s.slo != nil {
+		ev.SLOBurn = s.slo.maxBurn()
+	}
+	s.hub.publish(j.ID, ev)
 	if res != nil {
 		s.hub.publish(j.ID, ProgressEvent{
 			Kind:         "result",
@@ -442,6 +493,7 @@ func (s *Server) maybePreempt(newJob *Job) {
 	}
 	if victim != nil && victim.job.Spec.Priority < newJob.Spec.Priority {
 		victim.preempted = true
+		s.tenantCounter(mPreemptions, victim.job.Spec.Tenant).Inc()
 		close(victim.preempt)
 	}
 }
@@ -462,6 +514,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /telemetryz", s.handleTelemetryz)
 	return mux
 }
 
@@ -496,6 +550,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.queue.depth() >= s.cfg.MaxQueued {
+		s.tenantCounter(mRejections, spec.Tenant).Inc()
 		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusTooManyRequests, "job queue full")
 		return
@@ -521,6 +576,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.hub.publish(id, ProgressEvent{Kind: "state", State: string(StateQueued)})
+	s.beginQueueWait(j)
 	s.queue.push(j)
 	s.maybePreempt(j)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
@@ -618,6 +674,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if s.queue.remove(id) {
+		s.endQueueWait(j)
 		s.finishJob(j, StateCanceled, "canceled while queued", nil)
 		s.discardSessionLog(id)
 		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": string(StateCanceled)})

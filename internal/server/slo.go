@@ -1,0 +1,141 @@
+package server
+
+import "sync"
+
+// SLOConfig declares glimpsed's service-level objectives. The zero value
+// disables SLO tracking entirely: no tracker is built, /telemetryz omits
+// the slos section, and SSE events never carry a burn field — so the
+// documented byte-deterministic event stream is unchanged unless an
+// operator opts in.
+type SLOConfig struct {
+	// TTFPThresholdMS is the latency objective's threshold: a job whose
+	// time-to-first-progress is at most this many milliseconds counts as
+	// good.
+	TTFPThresholdMS float64
+	// TTFPObjective is the target good fraction for the latency SLO
+	// (e.g. 0.95). Zero disables the latency SLO.
+	TTFPObjective float64
+	// AvailObjective is the target fraction of terminal jobs finishing
+	// done rather than failed (canceled jobs are excluded: the client
+	// asked for them to stop). Zero disables the availability SLO.
+	AvailObjective float64
+}
+
+func (c SLOConfig) enabled() bool {
+	return c.TTFPObjective > 0 || c.AvailObjective > 0
+}
+
+// SLOStatus is one objective's published state: cumulative good/total
+// counts since process start and the error-budget burn rate. Burn is
+// badFraction / (1 - objective) — 1.0 means failing at exactly the rate
+// the objective allows, above 1.0 the error budget is being consumed
+// faster than it refills. Cumulative counts (rather than a sliding
+// wall-clock window) keep the numbers a pure function of the observed
+// job outcomes.
+type SLOStatus struct {
+	Name        string  `json:"name"`
+	Objective   float64 `json:"objective"`
+	Good        int64   `json:"good"`
+	Total       int64   `json:"total"`
+	BadFraction float64 `json:"bad_fraction"`
+	Burn        float64 `json:"burn"`
+}
+
+// sloTracker accumulates SLO observations. A nil tracker (SLOs not
+// configured) is inert: every method no-ops or returns zero.
+type sloTracker struct {
+	mu  sync.Mutex
+	cfg SLOConfig
+
+	ttfpGood, ttfpTotal   int64
+	availGood, availTotal int64
+}
+
+func newSLOTracker(cfg SLOConfig) *sloTracker {
+	if !cfg.enabled() {
+		return nil
+	}
+	// An objective of 1.0 leaves no error budget to divide by; clamp so
+	// burn stays finite (and JSON-encodable).
+	if cfg.TTFPObjective >= 1 {
+		cfg.TTFPObjective = 0.9999
+	}
+	if cfg.AvailObjective >= 1 {
+		cfg.AvailObjective = 0.9999
+	}
+	return &sloTracker{cfg: cfg}
+}
+
+// observeTTFP records one job's time-to-first-progress against the
+// latency objective.
+func (t *sloTracker) observeTTFP(ms float64) {
+	if t == nil || t.cfg.TTFPObjective <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.ttfpTotal++
+	if ms <= t.cfg.TTFPThresholdMS {
+		t.ttfpGood++
+	}
+	t.mu.Unlock()
+}
+
+// observeOutcome records one terminal job against the availability
+// objective (done = good, failed = bad; callers exclude canceled).
+func (t *sloTracker) observeOutcome(done bool) {
+	if t == nil || t.cfg.AvailObjective <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.availTotal++
+	if done {
+		t.availGood++
+	}
+	t.mu.Unlock()
+}
+
+func burnRate(good, total int64, objective float64) (bad, burn float64) {
+	if total == 0 {
+		return 0, 0
+	}
+	bad = float64(total-good) / float64(total)
+	return bad, bad / (1 - objective)
+}
+
+// snapshot returns the configured objectives' current status, latency
+// first.
+func (t *sloTracker) snapshot() []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SLOStatus
+	if t.cfg.TTFPObjective > 0 {
+		bad, burn := burnRate(t.ttfpGood, t.ttfpTotal, t.cfg.TTFPObjective)
+		out = append(out, SLOStatus{
+			Name: "ttfp_latency", Objective: t.cfg.TTFPObjective,
+			Good: t.ttfpGood, Total: t.ttfpTotal, BadFraction: bad, Burn: burn,
+		})
+	}
+	if t.cfg.AvailObjective > 0 {
+		bad, burn := burnRate(t.availGood, t.availTotal, t.cfg.AvailObjective)
+		out = append(out, SLOStatus{
+			Name: "availability", Objective: t.cfg.AvailObjective,
+			Good: t.availGood, Total: t.availTotal, BadFraction: bad, Burn: burn,
+		})
+	}
+	return out
+}
+
+// maxBurn returns the worst burn rate across the configured objectives —
+// the single number stamped onto terminal SSE events.
+func (t *sloTracker) maxBurn() float64 {
+	mx := 0.0
+	for _, st := range t.snapshot() {
+		if st.Burn > mx {
+			mx = st.Burn
+		}
+	}
+	return mx
+}

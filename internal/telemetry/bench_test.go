@@ -44,6 +44,36 @@ func BenchmarkTracerEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkTracerStartSpanDisabled measures the distributed-tracing no-op
+// path: StartSpan threads the caller's SpanContext through unchanged and
+// must stay allocation-free, because every fleet task and session step
+// calls it whether or not a trace file is open.
+func BenchmarkTracerStartSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	sc := SpanContext{TraceID: "job-j1", JobID: "j1", Tenant: "acme"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := tr.StartSpan(sc, StageStep)
+		sp.End()
+	}
+}
+
+// BenchmarkTracerStartSpanEnabled is the full cost of one emitted child
+// span: ID allocation, two clock reads, a JSON marshal, and a locked
+// write — the per-step price of distributed tracing when it is on.
+func BenchmarkTracerStartSpanEnabled(b *testing.B) {
+	tr := NewTracerProc(io.Discard, SystemClock(), "bench")
+	sc := SpanContext{TraceID: "job-j1", JobID: "j1", Tenant: "acme"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := tr.StartSpan(sc, StageStep)
+		sp.End()
+	}
+	if err := tr.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkCounterInc is the per-event cost of a registry counter.
 func BenchmarkCounterInc(b *testing.B) {
 	r := NewRegistry()
@@ -75,5 +105,14 @@ func TestTracerDisabledOverhead(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled tracer allocates %v per span", allocs)
+	}
+	sc := SpanContext{TraceID: "job-j1", JobID: "j1", Tenant: "acme"}
+	allocs = testing.AllocsPerRun(1000, func() {
+		sp, child := tr.StartSpan(sc, StageStep)
+		tr.EventCtx(child, StageSteal, nil)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan/EventCtx path allocates %v per span", allocs)
 	}
 }

@@ -1,0 +1,227 @@
+package telemetry
+
+import "sort"
+
+// Cross-process trace assembly. Each process in a distributed run —
+// glimpsed, every measured endpoint — writes its own JSONL trace file
+// with its own origin instant and its own span-ID space (prefixed by the
+// tracer's proc label). MergeTraces stitches those files back into one
+// tree per TraceID using only the propagated identifiers: parent/child
+// edges come from SpanID/ParentID, never from timestamps, because clocks
+// across processes share no origin. The output is deterministic for a
+// given set of input files — ties sort on (proc, seq).
+
+// ProcTrace is one process's parsed trace log, tagged with the process
+// name shown in merged output (conventionally the trace file's basename).
+type ProcTrace struct {
+	Proc   string
+	Events []SpanEvent
+}
+
+// MergedSpan is one node of an assembled cross-process trace tree: a
+// span, or an instant event attached beneath the span that emitted it.
+type MergedSpan struct {
+	Proc     string
+	Event    SpanEvent
+	Orphan   bool // ParentID named a span missing from the input files
+	Children []*MergedSpan
+}
+
+// SelfUS is the span's duration minus its children's, clamped at zero:
+// the time spent in the span itself rather than in instrumented callees.
+// Children measured by another process's clock still subtract — their
+// durations are valid even though their origins are not comparable.
+func (m *MergedSpan) SelfUS() int64 {
+	self := m.Event.DurUS
+	for _, c := range m.Children {
+		self -= c.Event.DurUS
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// MergedTrace is every span and event sharing one TraceID, assembled
+// into a forest rooted at the spans with no parent.
+type MergedTrace struct {
+	TraceID string
+	JobID   string
+	Tenant  string
+	Procs   []string // processes that contributed, sorted
+	Spans   int      // span-kind nodes
+	Events  int      // event-kind nodes
+	Roots   []*MergedSpan
+}
+
+// MergeTraces assembles the traces present in the given process logs.
+// Lines with no TraceID (single-process spans from Start, metric-style
+// events) are ignored. Traces come back sorted by TraceID.
+func MergeTraces(procs []ProcTrace) []*MergedTrace {
+	type traceAcc struct {
+		trace   *MergedTrace
+		nodes   []*MergedSpan
+		bySpan  map[string]*MergedSpan
+		procSet map[string]bool
+	}
+	accs := map[string]*traceAcc{}
+	order := []string{}
+	for _, p := range procs {
+		for _, ev := range p.Events {
+			if ev.TraceID == "" {
+				continue
+			}
+			acc, ok := accs[ev.TraceID]
+			if !ok {
+				acc = &traceAcc{
+					trace:   &MergedTrace{TraceID: ev.TraceID},
+					bySpan:  map[string]*MergedSpan{},
+					procSet: map[string]bool{},
+				}
+				accs[ev.TraceID] = acc
+				order = append(order, ev.TraceID)
+			}
+			node := &MergedSpan{Proc: p.Proc, Event: ev}
+			acc.nodes = append(acc.nodes, node)
+			acc.procSet[p.Proc] = true
+			if acc.trace.JobID == "" {
+				acc.trace.JobID = ev.JobID
+			}
+			if acc.trace.Tenant == "" {
+				acc.trace.Tenant = ev.Tenant
+			}
+			if ev.Kind == "span" {
+				acc.trace.Spans++
+				if ev.SpanID != "" {
+					acc.bySpan[ev.SpanID] = node
+				}
+			} else {
+				acc.trace.Events++
+			}
+		}
+	}
+
+	sort.Strings(order)
+	out := make([]*MergedTrace, 0, len(order))
+	for _, id := range order {
+		acc := accs[id]
+		for _, node := range acc.nodes {
+			parent := node.Event.ParentID
+			switch {
+			case parent == "":
+				acc.trace.Roots = append(acc.trace.Roots, node)
+			case acc.bySpan[parent] != nil && acc.bySpan[parent] != node:
+				p := acc.bySpan[parent]
+				p.Children = append(p.Children, node)
+			default:
+				node.Orphan = true
+				acc.trace.Roots = append(acc.trace.Roots, node)
+			}
+		}
+		sortSiblings(acc.trace.Roots)
+		for _, node := range acc.nodes {
+			sortSiblings(node.Children)
+		}
+		for p := range acc.procSet {
+			acc.trace.Procs = append(acc.trace.Procs, p)
+		}
+		sort.Strings(acc.trace.Procs)
+		out = append(out, acc.trace)
+	}
+	return out
+}
+
+// sortSiblings orders same-parent nodes: same-process siblings by their
+// emit sequence (start order within that clock), cross-process siblings
+// grouped by process name. Never by StartUS across processes — those
+// origins are unrelated.
+func sortSiblings(nodes []*MergedSpan) {
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Proc != nodes[j].Proc {
+			return nodes[i].Proc < nodes[j].Proc
+		}
+		return nodes[i].Event.Seq < nodes[j].Event.Seq
+	})
+}
+
+// StageStat is a per-stage rollup of one merged trace.
+type StageStat struct {
+	Stage   string
+	Spans   int
+	Events  int
+	TotalUS int64 // sum of span durations
+	SelfUS  int64 // sum of span self-times
+	MaxUS   int64 // longest single span
+}
+
+// StageRollup aggregates the merged trace by stage, sorted by total time
+// descending (ties by stage name).
+func (t *MergedTrace) StageRollup() []StageStat {
+	byStage := map[string]*StageStat{}
+	var walk func(n *MergedSpan)
+	walk = func(n *MergedSpan) {
+		st, ok := byStage[n.Event.Stage]
+		if !ok {
+			st = &StageStat{Stage: n.Event.Stage}
+			byStage[n.Event.Stage] = st
+		}
+		if n.Event.Kind == "span" {
+			st.Spans++
+			st.TotalUS += n.Event.DurUS
+			st.SelfUS += n.SelfUS()
+			if n.Event.DurUS > st.MaxUS {
+				st.MaxUS = n.Event.DurUS
+			}
+		} else {
+			st.Events++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	out := make([]StageStat, 0, len(byStage))
+	for _, st := range byStage {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// CriticalPath walks from the trace's first root, descending at each
+// level into the longest child span, yielding the chain of spans that
+// bounded the job's latency (queue wait → session steps → measurement
+// RTT). Instant events never appear on the path.
+func (t *MergedTrace) CriticalPath() []*MergedSpan {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	root := t.Roots[0]
+	for _, r := range t.Roots[1:] {
+		if r.Event.Kind == "span" && r.Event.DurUS > root.Event.DurUS {
+			root = r
+		}
+	}
+	var path []*MergedSpan
+	for n := root; n != nil; {
+		path = append(path, n)
+		var next *MergedSpan
+		for _, c := range n.Children {
+			if c.Event.Kind != "span" {
+				continue
+			}
+			if next == nil || c.Event.DurUS > next.Event.DurUS {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,33 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float metric for quantities
+// like GPU-seconds that accumulate in fractional units. The zero value is
+// ready to use; all methods are safe for concurrent use and nil-safe.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (c *FloatCounter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
 }
 
 // Gauge is a last-value-wins float metric. The zero value is ready to
@@ -95,6 +123,52 @@ type HistogramSnap struct {
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
 	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50,omitempty"`
+	P90    float64   `json:"p90,omitempty"`
+	P99    float64   `json:"p99,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank: the rank's fractional
+// position within the bucket's count maps linearly onto the bucket's
+// bounds. The first bucket interpolates up from zero (histogram values
+// are duration-like, nonnegative), and ranks landing in the overflow
+// bucket report the last bound — the histogram cannot resolve past it.
+func (s HistogramSnap) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			break // overflow bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Snapshot captures the histogram's current state under the given name,
+// with the same percentile estimates the registry snapshot computes —
+// for callers holding a standalone histogram outside any Registry.
+func (h *Histogram) Snapshot(name string) HistogramSnap {
+	return h.snapshot(name)
 }
 
 func (h *Histogram) snapshot(name string) HistogramSnap {
@@ -107,8 +181,18 @@ func (h *Histogram) snapshot(name string) HistogramSnap {
 	h.mu.Unlock()
 	if s.Count > 0 {
 		s.Mean = s.Sum / float64(s.Count)
+		s.P50 = s.Quantile(0.50)
+		s.P90 = s.Quantile(0.90)
+		s.P99 = s.Quantile(0.99)
 	}
 	return s
+}
+
+// LatencyBoundsMS is the default bucket layout for millisecond latency
+// histograms: ~exponential edges from sub-millisecond to one minute, the
+// operating range of queue waits, step latencies, and measurement RTTs.
+func LatencyBoundsMS() []float64 {
+	return []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
 }
 
 // Registry is a named collection of counters, gauges, and histograms.
@@ -118,6 +202,7 @@ func (h *Histogram) snapshot(name string) HistogramSnap {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	floats   map[string]*FloatCounter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
@@ -126,6 +211,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		floats:   map[string]*FloatCounter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
@@ -142,6 +228,21 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+	}
+	return c
+}
+
+// FloatCounter returns the named float counter, creating it on first use.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	if r == nil {
+		return &FloatCounter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.floats[name]
+	if !ok {
+		c = &FloatCounter{}
+		r.floats[name] = c
 	}
 	return c
 }
@@ -187,6 +288,7 @@ type MetricSnap struct {
 // the /telemetryz endpoint.
 type Snapshot struct {
 	Counters   []MetricSnap    `json:"counters,omitempty"`
+	Floats     []MetricSnap    `json:"float_counters,omitempty"`
 	Gauges     []MetricSnap    `json:"gauges,omitempty"`
 	Histograms []HistogramSnap `json:"histograms,omitempty"`
 }
@@ -203,6 +305,10 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = append(s.Counters, MetricSnap{Name: name, Value: float64(c.Value())})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, c := range r.floats {
+		s.Floats = append(s.Floats, MetricSnap{Name: name, Value: c.Value()})
+	}
+	sort.Slice(s.Floats, func(i, j int) bool { return s.Floats[i].Name < s.Floats[j].Name })
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, MetricSnap{Name: name, Value: g.Value()})
 	}
@@ -220,12 +326,37 @@ func (s Snapshot) Table(title string) string {
 	for _, c := range s.Counters {
 		t.AddRow(c.Name, "counter", fmt.Sprintf("%.0f", c.Value))
 	}
+	for _, c := range s.Floats {
+		t.AddRow(c.Name, "fcounter", fmt.Sprintf("%.6g", c.Value))
+	}
 	for _, g := range s.Gauges {
 		t.AddRow(g.Name, "gauge", fmt.Sprintf("%.4g", g.Value))
 	}
 	for _, h := range s.Histograms {
 		t.AddRow(h.Name, "histogram",
-			fmt.Sprintf("n=%d mean=%.4g sum=%.4g", h.Count, h.Mean, h.Sum))
+			fmt.Sprintf("n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g sum=%.4g",
+				h.Count, h.Mean, h.P50, h.P90, h.P99, h.Sum))
 	}
 	return t.String()
+}
+
+// Labeled builds a labeled metric family name, family{key=value}. Names
+// sort lexically in snapshots, so one family's label values group
+// together; SplitLabel recovers the parts.
+func Labeled(family, key, value string) string {
+	return family + "{" + key + "=" + value + "}"
+}
+
+// SplitLabel splits a Labeled name back into family and label value. A
+// plain unlabeled name comes back as (name, "").
+func SplitLabel(name string) (family, value string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	label := name[open+1 : len(name)-1]
+	if eq := strings.IndexByte(label, '='); eq >= 0 {
+		label = label[eq+1:]
+	}
+	return name[:open], label
 }

@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []SpanEvent {
+	t.Helper()
+	var out []SpanEvent
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestStartSpanPropagatesContext: StartSpan allocates a proc-prefixed span
+// ID, parents the span on the caller's context, and hands the baggage
+// (TraceID/JobID/Tenant) through unchanged.
+func TestStartSpanPropagatesContext(t *testing.T) {
+	var buf bytes.Buffer
+	clk := NewFakeClock(time.Unix(0, 0))
+	tr := NewTracerProc(&buf, clk, "glimpsed")
+	root := SpanContext{TraceID: "job-j1", JobID: "j1", Tenant: "acme"}
+
+	jobSp, jobSC := tr.StartSpan(root, StageJob)
+	if jobSC.SpanID != "glimpsed/1" {
+		t.Fatalf("span ID = %q, want glimpsed/1", jobSC.SpanID)
+	}
+	if jobSC.TraceID != "job-j1" || jobSC.JobID != "j1" || jobSC.Tenant != "acme" {
+		t.Fatalf("baggage dropped: %+v", jobSC)
+	}
+	stepSp, stepSC := tr.StartSpan(jobSC, StageStep)
+	tr.EventCtx(stepSC, StageSteal, map[string]any{"event": "endpoint_steal"})
+	clk.Advance(3 * time.Millisecond)
+	stepSp.End()
+	clk.Advance(time.Millisecond)
+	jobSp.End()
+
+	events := decodeTrace(t, &buf)
+	if len(events) != 3 {
+		t.Fatalf("got %d trace lines, want 3", len(events))
+	}
+	// Emission order: the instant event, then step End, then job End.
+	ev, step, job := events[0], events[1], events[2]
+	if ev.Kind != "event" || ev.ParentID != "glimpsed/2" || ev.SpanID != "" {
+		t.Fatalf("event not attached to the step span: %+v", ev)
+	}
+	if step.SpanID != "glimpsed/2" || step.ParentID != "glimpsed/1" || step.DurUS != 3000 {
+		t.Fatalf("step span wrong: %+v", step)
+	}
+	if job.SpanID != "glimpsed/1" || job.ParentID != "" || job.DurUS != 4000 {
+		t.Fatalf("job span wrong: %+v", job)
+	}
+	for _, e := range events {
+		if e.TraceID != "job-j1" || e.JobID != "j1" || e.Tenant != "acme" {
+			t.Fatalf("baggage missing on %+v", e)
+		}
+	}
+}
+
+// TestStartSpanNilTracerThreadsBaggage: a disabled tracer must still pass
+// the context through so downstream processes that do trace stay linked.
+func TestStartSpanNilTracerThreadsBaggage(t *testing.T) {
+	var tr *Tracer
+	sc := SpanContext{TraceID: "job-j9", SpanID: "up/4", JobID: "j9", Tenant: "acme"}
+	sp, got := tr.StartSpan(sc, StageStep)
+	if got != sc {
+		t.Fatalf("nil tracer altered the context: %+v", got)
+	}
+	sp.SetAttr("k", 1) // must be inert
+	sp.End()
+	if sp.Context() != (SpanContext{}) {
+		t.Fatalf("inert span has a context: %+v", sp.Context())
+	}
+}
+
+// span builds a span-kind SpanEvent for merge tests.
+func span(seq int, trace, id, parent, stage string, durUS int64) SpanEvent {
+	return SpanEvent{Seq: seq, Kind: "span", Stage: stage, TraceID: trace,
+		SpanID: id, ParentID: parent, JobID: "j1", Tenant: "acme", DurUS: durUS}
+}
+
+// TestMergeTracesCrossProcess assembles a two-process trace: glimpsed's
+// job → step spans with measured's rpc_measure span hanging off the step
+// via the propagated parent ID.
+func TestMergeTracesCrossProcess(t *testing.T) {
+	glimpsed := ProcTrace{Proc: "glimpsed", Events: []SpanEvent{
+		span(1, "job-j1", "g/1", "", StageJob, 10_000),
+		span(2, "job-j1", "g/2", "g/1", StageStep, 8000),
+		{Seq: 3, Kind: "event", Stage: StageSteal, TraceID: "job-j1", ParentID: "g/2"},
+		{Seq: 4, Kind: "span", Stage: "local_only"}, // no TraceID: ignored
+	}}
+	ep0 := ProcTrace{Proc: "ep0", Events: []SpanEvent{
+		span(1, "job-j1", "ep0/1", "g/2", StageRPCMeasure, 5000),
+	}}
+	traces := MergeTraces([]ProcTrace{glimpsed, ep0})
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != "job-j1" || tr.JobID != "j1" || tr.Tenant != "acme" {
+		t.Fatalf("trace identity wrong: %+v", tr)
+	}
+	if got := strings.Join(tr.Procs, ","); got != "ep0,glimpsed" {
+		t.Fatalf("procs = %s", got)
+	}
+	if tr.Spans != 3 || tr.Events != 1 {
+		t.Fatalf("spans=%d events=%d, want 3/1", tr.Spans, tr.Events)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Event.SpanID != "g/1" {
+		t.Fatalf("roots: %+v", tr.Roots)
+	}
+	step := tr.Roots[0].Children[0]
+	if step.Event.SpanID != "g/2" || len(step.Children) != 2 {
+		t.Fatalf("step node wrong: %+v", step)
+	}
+	// Siblings sort by (proc, seq): ep0's span before glimpsed's event.
+	if step.Children[0].Proc != "ep0" || step.Children[0].Event.Stage != StageRPCMeasure {
+		t.Fatalf("rpc span not under the step: %+v", step.Children[0])
+	}
+	if step.Children[0].Orphan {
+		t.Fatal("cross-process child marked orphan")
+	}
+
+	// Critical path descends the longest span chain across processes.
+	path := tr.CriticalPath()
+	stages := make([]string, len(path))
+	for i, n := range path {
+		stages[i] = n.Event.Stage
+	}
+	if got := strings.Join(stages, ">"); got != "job>step>rpc_measure" {
+		t.Fatalf("critical path = %s", got)
+	}
+	// Self time subtracts children even across clocks: step 8000-5000.
+	if self := step.SelfUS(); self != 3000 {
+		t.Fatalf("step self = %d, want 3000", self)
+	}
+
+	roll := tr.StageRollup()
+	if roll[0].Stage != StageJob || roll[0].TotalUS != 10_000 || roll[0].SelfUS != 2000 {
+		t.Fatalf("rollup head = %+v", roll[0])
+	}
+}
+
+// TestMergeTracesOrphanAndOrdering: a span whose parent never appears
+// becomes an orphan root, and same-parent spans from one process keep
+// emission order.
+func TestMergeTracesOrphanAndOrdering(t *testing.T) {
+	p := ProcTrace{Proc: "g", Events: []SpanEvent{
+		span(1, "job-j1", "g/2", "g/1", StageStep, 5),
+		span(2, "job-j1", "g/3", "missing", StageMeasure, 7),
+		span(3, "job-j1", "g/1", "", StageJob, 20),
+		span(4, "job-j1", "g/4", "g/1", StageStep, 6),
+	}}
+	tr := MergeTraces([]ProcTrace{p})[0]
+	if len(tr.Roots) != 2 {
+		t.Fatalf("want real root + orphan root, got %+v", tr.Roots)
+	}
+	var orphan *MergedSpan
+	for _, r := range tr.Roots {
+		if r.Orphan {
+			orphan = r
+		}
+	}
+	if orphan == nil || orphan.Event.SpanID != "g/3" {
+		t.Fatalf("orphan not surfaced: %+v", tr.Roots)
+	}
+	var root *MergedSpan
+	for _, r := range tr.Roots {
+		if !r.Orphan {
+			root = r
+		}
+	}
+	if len(root.Children) != 2 || root.Children[0].Event.SpanID != "g/2" || root.Children[1].Event.SpanID != "g/4" {
+		t.Fatalf("children order wrong: %+v", root.Children)
+	}
+	// CriticalPath must pick the larger root (g/1, 20us) over the orphan.
+	if path := tr.CriticalPath(); path[0].Event.SpanID != "g/1" {
+		t.Fatalf("critical path rooted at %+v", path[0].Event)
+	}
+}
+
+// TestQuantileInterpolation pins the bucket-interpolated estimator: exact
+// bucket boundaries, interior interpolation, the first bucket's
+// zero-floor, and overflow saturation at the last bound.
+func TestQuantileInterpolation(t *testing.T) {
+	s := HistogramSnap{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{2, 2, 0, 0}, // two values <=1, two in (1,2]
+		Count:  4,
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 1.0}, // rank 2 closes the first bucket exactly
+		{0.25, 0.5}, // halfway through the first bucket, floored at 0
+		{0.75, 1.5}, // halfway through the (1,2] bucket
+		{1.00, 2.0}, // rank 4 closes the second bucket
+		{-1, 0},     // clamped
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	over := HistogramSnap{Bounds: []float64{1, 2, 4}, Counts: []int64{0, 0, 0, 3}, Count: 3}
+	if got := over.Quantile(0.5); got != 4 {
+		t.Fatalf("overflow quantile = %v, want last bound 4", got)
+	}
+	if got := (HistogramSnap{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty snap quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramSnapshotPercentiles: the registry snapshot populates
+// P50/P90/P99 and the text table renders them.
+func TestHistogramSnapshotPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []float64{1, 10, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", snap.Histograms)
+	}
+	hs := snap.Histograms[0]
+	if hs.P50 != 0.5 || hs.P90 != 0.9 || hs.P99 != 0.99 {
+		t.Fatalf("percentiles = %v/%v/%v", hs.P50, hs.P90, hs.P99)
+	}
+	if table := snap.Table("t"); !strings.Contains(table, "p50=") || !strings.Contains(table, "p99=") {
+		t.Fatalf("table missing percentiles:\n%s", table)
+	}
+}
+
+// TestLabeledRoundTrip pins the labeled-family name scheme the per-tenant
+// service metrics rely on.
+func TestLabeledRoundTrip(t *testing.T) {
+	name := Labeled("glimpsed_gpu_seconds", "tenant", "acme")
+	if name != "glimpsed_gpu_seconds{tenant=acme}" {
+		t.Fatalf("Labeled = %q", name)
+	}
+	family, value := SplitLabel(name)
+	if family != "glimpsed_gpu_seconds" || value != "acme" {
+		t.Fatalf("SplitLabel = %q, %q", family, value)
+	}
+	if f, v := SplitLabel("plain"); f != "plain" || v != "" {
+		t.Fatalf("unlabeled split = %q, %q", f, v)
+	}
+}
+
+// TestFloatCounterExactSum: FloatCounter.Add must accumulate with plain
+// float64 addition in call order — the property the GPU-second ledger
+// reconciliation depends on.
+func TestFloatCounterExactSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.FloatCounter("gpu_s")
+	var want float64
+	for i := 1; i <= 1000; i++ {
+		d := 1.0 / float64(i)
+		c.Add(d)
+		want += d
+	}
+	if got := c.Value(); got != want {
+		t.Fatalf("float counter %v != sequential sum %v", got, want)
+	}
+	snap := r.Snapshot()
+	if len(snap.Floats) != 1 || snap.Floats[0].Value != want {
+		t.Fatalf("snapshot floats: %+v", snap.Floats)
+	}
+}

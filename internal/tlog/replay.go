@@ -7,6 +7,7 @@ import (
 	"github.com/neuralcompile/glimpse/internal/gpusim"
 	"github.com/neuralcompile/glimpse/internal/measure"
 	"github.com/neuralcompile/glimpse/internal/space"
+	"github.com/neuralcompile/glimpse/internal/telemetry"
 	"github.com/neuralcompile/glimpse/internal/workload"
 )
 
@@ -86,3 +87,7 @@ func (r *Replayer) MeasureBatch(task workload.Task, sp *space.Space, idxs []int6
 
 // DeviceName identifies the underlying device.
 func (r *Replayer) DeviceName() string { return r.inner.DeviceName() }
+
+// BindTrace forwards the span context to the live inner measurer
+// (measure.TraceBinder); replayed batches never touch the wire.
+func (r *Replayer) BindTrace(sc telemetry.SpanContext) { measure.BindTrace(r.inner, sc) }

@@ -159,6 +159,10 @@ func (r *RecordingMeasurer) MeasureBatch(task workload.Task, sp *space.Space, id
 // DeviceName identifies the wrapped device.
 func (r *RecordingMeasurer) DeviceName() string { return r.Inner.DeviceName() }
 
+// BindTrace forwards the span context down the chain
+// (measure.TraceBinder); recording is identity-agnostic.
+func (r *RecordingMeasurer) BindTrace(sc telemetry.SpanContext) { measure.BindTrace(r.Inner, sc) }
+
 // Best returns the best valid entry for a task name across every device
 // in the log, or ok=false. A mixed-device log can therefore return another
 // GPU's configuration: deployment lookups must use BestForDevice, which
